@@ -1,0 +1,40 @@
+# Convenience targets for the OFAR reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet cover figures figures-h6 fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate every paper figure at laptop scale (h=3) with SVG charts.
+figures:
+	$(GO) run ./cmd/experiments -fig all -h 3 -points 8 -svg figures | tee experiments_h3.txt
+
+# Paper-scale (h=6, 5256 nodes) headline figure — slow.
+figures-h6:
+	$(GO) run ./cmd/experiments -fig fig5 -h 6 -points 6
+
+fuzz:
+	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology
+	$(GO) test -fuzz FuzzParsePattern -fuzztime 20s .
+
+clean:
+	rm -rf figures test_output.txt bench_output.txt

@@ -1,0 +1,6 @@
+package ofar
+
+import "ofar/internal/simcore"
+
+// newBenchRNG gives benchmarks a deterministic generator.
+func newBenchRNG() *simcore.RNG { return simcore.NewRNG(99) }

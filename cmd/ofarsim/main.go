@@ -1,0 +1,120 @@
+// Command ofarsim runs a single steady-state dragonfly simulation and
+// prints latency, throughput and routing statistics.
+//
+// Examples:
+//
+//	ofarsim -h 3 -routing OFAR -pattern ADV+3 -load 0.5
+//	ofarsim -h 6 -routing PB -pattern UN -load 0.3 -warmup 5000 -measure 10000
+//	ofarsim -h 3 -routing OFAR -ring embedded -rings 2 -pattern ADV+3 -load 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ofar"
+)
+
+func main() {
+	var (
+		h        = flag.Int("h", 3, "dragonfly parameter h (balanced: p=h, a=2h, max groups)")
+		groups   = flag.Int("groups", 0, "group count (0 = maximum size a*h+1)")
+		routing  = flag.String("routing", "OFAR", "routing mechanism: MIN, VAL, PB, UGAL-L, OFAR, OFAR-L")
+		pattern  = flag.String("pattern", "UN", "traffic pattern: UN, ADV+<n>, MIX1, MIX2, MIX3")
+		load     = flag.Float64("load", 0.3, "offered load in phits/(node*cycle)")
+		warmup   = flag.Int("warmup", 3000, "warm-up cycles")
+		measure  = flag.Int("measure", 5000, "measurement cycles")
+		ring     = flag.String("ring", "physical", "escape ring: none, physical, embedded")
+		rings    = flag.Int("rings", 1, "number of escape rings")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		nonMin   = flag.Float64("nonmin-factor", 0.9, "OFAR variable threshold factor")
+		static   = flag.Float64("static-th", -1, "OFAR static non-minimal threshold (<0 = variable policy)")
+		escapeTO = flag.Int("escape-timeout", 32, "blocked cycles before requesting the escape ring")
+		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
+		confPath = flag.String("config", "", "load the full network config from a JSON file (overrides topology/router flags)")
+		dumpConf = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+	)
+	flag.Parse()
+
+	cfg := ofar.DefaultConfig(*h)
+	cfg.Groups = *groups
+	cfg.Seed = *seed
+	cfg.Routing = ofar.Routing(strings.ToUpper(*routing))
+	if cfg.Routing == ofar.PAR {
+		cfg.LocalVCs, cfg.InjVCs = 4, 4
+	}
+	cfg.OFAR.NonMinFactor = *nonMin
+	cfg.OFAR.StaticNonMin = *static
+	cfg.OFAR.EscapeTimeout = *escapeTO
+	switch strings.ToLower(*ring) {
+	case "none":
+		cfg.Ring = ofar.RingNone
+	case "physical":
+		cfg.Ring = ofar.RingPhysical
+	case "embedded":
+		cfg.Ring = ofar.RingEmbedded
+	default:
+		fatal("unknown ring mode %q", *ring)
+	}
+	cfg.NumRings = *rings
+	if cfg.Routing == ofar.MIN || cfg.Routing == ofar.VAL ||
+		cfg.Routing == ofar.PB || cfg.Routing == ofar.UGAL ||
+		cfg.Routing == ofar.PAR {
+		cfg.Ring = ofar.RingNone // VC-ordered mechanisms need no escape ring
+	}
+
+	if *confPath != "" {
+		loaded, err := ofar.LoadConfig(*confPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg = loaded
+	}
+	if *dumpConf {
+		data, err := ofar.ConfigToJSON(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	ps, err := ofar.ParsePattern(*pattern, cfg.H)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	res, err := ofar.RunSteady(cfg, ps, *load, *warmup, *measure)
+	if err != nil {
+		fatal("simulation failed: %v", err)
+	}
+	if *quiet {
+		fmt.Printf("%s,%s,%.3f,%.2f,%.4f,%d,%d,%d,%d\n",
+			res.Routing, res.Pattern, res.Load, res.AvgLatency, res.Throughput,
+			res.GlobalMisroutes, res.LocalMisroutes, res.RingEnters, res.Delivered)
+		return
+	}
+	numGroups := cfg.Groups
+	if numGroups == 0 {
+		numGroups = cfg.A*cfg.H + 1
+	}
+	fmt.Printf("network       : h=%d (p=%d a=%d groups=%d, %d nodes), %s escape ring x%d\n",
+		*h, cfg.P, cfg.A, numGroups, cfg.P*cfg.A*numGroups, strings.ToLower(*ring), *rings)
+	fmt.Printf("routing       : %s\n", res.Routing)
+	fmt.Printf("traffic       : %s at %.3f phits/(node*cycle)\n", res.Pattern, res.Load)
+	fmt.Printf("avg latency   : %.1f cycles (network %.1f, max %d)\n",
+		res.AvgLatency, res.AvgNetLatency, res.MaxLatency)
+	fmt.Printf("throughput    : %.4f phits/(node*cycle)\n", res.Throughput)
+	fmt.Printf("avg hops      : %.2f\n", res.AvgHops)
+	fmt.Printf("delivered     : %d packets in the measurement window\n", res.Delivered)
+	fmt.Printf("misroutes     : %d global, %d local\n", res.GlobalMisroutes, res.LocalMisroutes)
+	fmt.Printf("escape ring   : %d entries (%.3f%% of delivered), %d exits\n",
+		res.RingEnters, 100*res.EscapeFraction, res.RingExits)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ofarsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package ofar
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Routing = OFARL
+	cfg.Ring = RingEmbedded
+	cfg.NumRings = 2
+	cfg.OFAR.EscapeTimeout = 64
+	cfg.Congestion.Enabled = true
+	cfg.Congestion.Threshold = 0.6
+	data, err := ConfigToJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, cfg)
+	}
+}
+
+func TestConfigFromJSONValidates(t *testing.T) {
+	if _, err := ConfigFromJSON([]byte(`{"P":0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := ConfigFromJSON([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := DefaultConfig(2)
+	if err := SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// The file is valid JSON a human can edit.
+	raw, _ := os.ReadFile(path)
+	if len(raw) < 100 || raw[0] != '{' {
+		t.Error("config file not human-readable JSON")
+	}
+}

@@ -1,0 +1,66 @@
+package ofar_test
+
+import (
+	"fmt"
+
+	"ofar"
+)
+
+// The smallest complete experiment: one steady-state point under uniform
+// traffic on a small dragonfly.
+func ExampleRunSteady() {
+	cfg := ofar.DefaultConfig(2) // h=2: 72 nodes, 36 routers, 9 groups
+	cfg.Seed = 7
+	res, err := ofar.RunSteady(cfg, ofar.Uniform(), 0.25, 1000, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pattern=%s routing=%s\n", res.Pattern, res.Routing)
+	fmt.Printf("offered %.2f accepted %.2f\n", res.Load, res.Throughput)
+	// Output:
+	// pattern=UN routing=OFAR
+	// offered 0.25 accepted 0.25
+}
+
+// Adversarial traffic targeting the group h positions away — the paper's
+// worst case for local links.
+func ExampleAdv() {
+	ps := ofar.Adv(6)
+	fmt.Println(ps.Name())
+	// Output:
+	// ADV+6
+}
+
+// Mixes combine patterns with weights, like the burst experiment's MIX1
+// (80% uniform, 10% ADV+1, 10% ADV+h).
+func ExampleMixOf() {
+	mix := ofar.MixOf("custom",
+		ofar.MixComponent{Spec: ofar.Uniform(), Weight: 0.5},
+		ofar.MixComponent{Spec: ofar.Adv(3), Weight: 0.5},
+	)
+	fmt.Println(mix.Name())
+	// Output:
+	// custom
+}
+
+// ParsePattern accepts the textual names used by the CLI tools.
+func ExampleParsePattern() {
+	ps, err := ofar.ParsePattern("adv+12", 6)
+	fmt.Println(ps.Name(), err)
+	// Output:
+	// ADV+12 <nil>
+}
+
+// Cycle-level control for custom experiments.
+func ExampleSimulator() {
+	cfg := ofar.DefaultConfig(2)
+	sim, err := ofar.NewSimulator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	sim.SetTraffic(ofar.Adv(2), 0.2)
+	sim.Run(2000)
+	fmt.Println(sim.Now() == 2000, sim.Stats().Delivered > 0)
+	// Output:
+	// true true
+}

@@ -1,0 +1,43 @@
+// Quickstart: build a balanced dragonfly, run OFAR under uniform traffic,
+// and print the headline metrics. This is the smallest end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ofar"
+)
+
+func main() {
+	// A balanced h=3 dragonfly: p=3 nodes/router, a=6 routers/group,
+	// 19 groups, 342 nodes — the paper's §V parameters at laptop scale.
+	cfg := ofar.DefaultConfig(3)
+	cfg.Routing = ofar.OFAR
+
+	sim, err := ofar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := sim.Topology()
+	fmt.Printf("dragonfly: %d nodes, %d routers, %d groups, diameter 3\n",
+		d.Nodes, d.Routers, d.G)
+
+	// Steady-state experiment: warm up 2000 cycles, measure 4000.
+	res, err := ofar.RunSteady(cfg, ofar.Uniform(), 0.30, 2000, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform traffic at %.2f phits/(node·cycle):\n", res.Load)
+	fmt.Printf("  avg latency  %.1f cycles\n", res.AvgLatency)
+	fmt.Printf("  throughput   %.3f phits/(node·cycle)\n", res.Throughput)
+	fmt.Printf("  avg hops     %.2f\n", res.AvgHops)
+	fmt.Printf("  escape ring  %.3f%% of packets\n", 100*res.EscapeFraction)
+
+	// The same network driven manually, cycle by cycle.
+	sim.SetTraffic(ofar.Uniform(), 0.30)
+	sim.Run(1000)
+	fmt.Printf("manual drive: %d packets delivered after %d cycles\n",
+		sim.Stats().Delivered, sim.Now())
+}

@@ -1,0 +1,55 @@
+// Reliability: the §VII discussion — "OFAR could block the system with
+// more than a single failure in its Hamiltonian ring"; embedding several
+// edge-disjoint rings restores protection. This example breaks an escape
+// ring mid-run under worst-case adversarial overload and compares a
+// single-ring network against a dual-ring one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ofar"
+	"ofar/internal/traffic"
+)
+
+func run(rings int) {
+	const h = 2
+	cfg := ofar.DefaultConfig(h)
+	cfg.Routing = ofar.OFARL                    // no local misroute
+	cfg.OFAR = ofar.DefaultOFARVariableConfig() // the paper's §V policy
+	cfg.Ring = ofar.RingEmbedded
+	cfg.NumRings = rings
+	cfg.LocalVCs, cfg.GlobalVCs, cfg.InjVCs = 2, 1, 2 // Fig. 9 resources: the ring is load-bearing
+
+	sim, err := ofar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := sim.Network()
+	n.SetGenerator(traffic.NewBernoulli(traffic.NewAdv(n.Topo, h), 0.2, cfg.PacketSize))
+
+	fmt.Printf("\n=== %d embedded escape ring(s), OFAR-L, ADV+h at 0.2 load ===\n", rings)
+	window := func(label string) {
+		before := n.Stats.Delivered
+		n.Run(5000)
+		rate := float64(n.Stats.Delivered-before) * 8 / 5000 / float64(n.Topo.Nodes)
+		fmt.Printf("  %-22s accepted %.3f phits/(node·cycle)\n", label, rate)
+	}
+	window("healthy:")
+	n.FailRingEdge(0, n.Rings[0].Order[3])
+	fmt.Println("  -- ring 0 edge broken --")
+	window("after failure:")
+	window("later:")
+}
+
+func main() {
+	fmt.Println("escape-subnetwork reliability under worst-case traffic (§VII)")
+	run(1)
+	run(2)
+	fmt.Println(`
+with a single ring, the break removes the only deadlock drain: cyclic
+buffer waits accumulate until delivery stops completely (rate 0.000).
+With two link-disjoint rings the survivor keeps breaking deadlocks and
+the network stays live — the §VII multi-Hamiltonian reliability argument.`)
+}

@@ -1,0 +1,53 @@
+// Stencil: the application-level motivation of the paper (§I/§III, citing
+// Bhatele et al.): a 3-D halo-exchange code whose tasks are placed
+// consecutively ("DEF" mapping) concentrates neighbor traffic on a few
+// local links of each group. Bhatele's fix randomizes the task mapping —
+// destroying locality; the paper argues the fix belongs in the network.
+// This example shows all four corners: {MIN, OFAR} × {linear, random}.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ofar"
+)
+
+func main() {
+	const h = 3 // 342 nodes; the stencil uses 7x7x6 = 294 of them
+	fmt.Println("3-D stencil halo exchange on an h=3 dragonfly (7x7x6 tasks)")
+	fmt.Printf("%-10s %-18s %12s %12s\n", "routing", "mapping", "latency@0.3", "saturation")
+
+	for _, rt := range []ofar.Routing{ofar.MIN, ofar.OFAR} {
+		for _, random := range []bool{false, true} {
+			cfg := ofar.DefaultConfig(h)
+			cfg.Routing = rt
+			if rt == ofar.MIN {
+				cfg.Ring = ofar.RingNone
+			}
+			ps := ofar.Stencil3D(7, 7, 6, random)
+			lat, err := ofar.RunSteady(cfg, ps, 0.3, 3000, 4000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sat, err := ofar.RunSteady(cfg, ps, 1.0, 3000, 4000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mapping := "linear (DEF)"
+			if random {
+				mapping = "random (RDN)"
+			}
+			fmt.Printf("%-10s %-18s %12.1f %12.3f\n", rt, mapping, lat.AvgLatency, sat.Throughput)
+		}
+	}
+
+	fmt.Println(`
+reading the table:
+  - MIN + linear mapping keeps traffic local (lowest latency) but the few
+    loaded local links bound the achievable rate;
+  - randomizing the mapping spreads load at the price of longer paths
+    (higher latency, global links now involved);
+  - OFAR with the linear mapping keeps the locality benefit AND routes
+    around whatever saturates — the network-level fix the paper argues for.`)
+}

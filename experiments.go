@@ -1,0 +1,290 @@
+package ofar
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"ofar/internal/network"
+	"ofar/internal/stats"
+	"ofar/internal/traffic"
+)
+
+// SteadyResult summarizes one steady-state measurement (one point of the
+// paper's latency/throughput-vs-load plots, Figs. 3–5 and 8–9).
+type SteadyResult struct {
+	Routing Routing
+	Pattern string
+	Load    float64 // offered, phits/(node·cycle)
+
+	AvgLatency    float64 // generation → delivery, cycles
+	AvgNetLatency float64 // injection → delivery, cycles
+	P50Latency    float64 // median latency (histogram estimate)
+	P99Latency    float64 // 99th-percentile latency (histogram estimate)
+	MaxLatency    int64
+	AvgHops       float64
+	Throughput    float64 // accepted, phits/(node·cycle)
+
+	Delivered       int64
+	GlobalMisroutes int64
+	LocalMisroutes  int64
+	RingEnters      int64
+	RingExits       int64
+
+	// EscapeFraction is the share of delivered packets that entered the
+	// escape ring — the paper argues it stays tiny (§IV-C, §VII).
+	EscapeFraction float64
+}
+
+// RunSteady simulates an open-loop Bernoulli workload: warmup cycles to
+// reach steady state, then measure cycles of measurement, and returns the
+// averages (paper §VI-A methodology).
+func RunSteady(cfg Config, ps PatternSpec, load float64, warmup, measure int) (SteadyResult, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	pattern := ps.build(n.Topo)
+	n.SetGenerator(traffic.NewBernoulli(pattern, load, cfg.PacketSize))
+	n.Stats.EnableHistogram()
+	n.Run(warmup)
+	base := n.Stats
+	ringEnters0, gm0, lm0, rx0 := base.RingEnters, base.GlobalMisroutes, base.LocalMisroutes, base.RingExits
+	base.StartMeasurement(n.Now())
+	n.Run(measure)
+	res := SteadyResult{
+		Routing:         cfg.Routing,
+		Pattern:         pattern.Name(),
+		Load:            load,
+		AvgLatency:      base.AvgLatency(),
+		AvgNetLatency:   base.AvgNetworkLatency(),
+		P50Latency:      base.LatencyQuantile(0.50),
+		P99Latency:      base.LatencyQuantile(0.99),
+		MaxLatency:      base.MaxLatency(),
+		AvgHops:         base.AvgHops(),
+		Throughput:      base.Throughput(n.Now()),
+		Delivered:       base.MeasuredPackets(),
+		GlobalMisroutes: base.GlobalMisroutes - gm0,
+		LocalMisroutes:  base.LocalMisroutes - lm0,
+		RingEnters:      base.RingEnters - ringEnters0,
+		RingExits:       base.RingExits - rx0,
+	}
+	if res.Delivered > 0 {
+		res.EscapeFraction = float64(res.RingEnters) / float64(res.Delivered)
+	}
+	if err := n.CheckConservation(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunLoadSweep runs RunSteady for each load, reusing the configuration.
+func RunLoadSweep(cfg Config, ps PatternSpec, loads []float64, warmup, measure int) ([]SteadyResult, error) {
+	out := make([]SteadyResult, 0, len(loads))
+	for _, l := range loads {
+		r, err := RunSteady(cfg, ps, l, warmup, measure)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunLoadSweepParallel runs the sweep points concurrently, one network per
+// point. Results are identical to RunLoadSweep: every point builds its own
+// network whose RNG streams derive only from cfg.Seed, so parallelism does
+// not perturb determinism. workers ≤ 0 uses GOMAXPROCS.
+func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, measure, workers int) ([]SteadyResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]SteadyResult, len(loads))
+	errs := make([]error, len(loads))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, l := range loads {
+		wg.Add(1)
+		go func(i int, load float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = RunSteady(cfg, ps, load, warmup, measure)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// SaturationLoad estimates the saturation throughput of a configuration
+// under a pattern: it offers full load (1.0) and reports the accepted
+// throughput, which is the standard way the paper's throughput plateaus
+// (Figs. 3b/4b/5b) are read.
+func SaturationLoad(cfg Config, ps PatternSpec, warmup, measure int) (float64, error) {
+	r, err := RunSteady(cfg, ps, 1.0, warmup, measure)
+	if err != nil {
+		return 0, err
+	}
+	return r.Throughput, nil
+}
+
+// ReplicatedResult aggregates one metric across seeds.
+type ReplicatedResult struct {
+	Runs           int
+	Throughput     Aggregate
+	AvgLatency     Aggregate
+	EscapeFraction Aggregate
+}
+
+// Aggregate is a mean ± standard deviation across replicated runs.
+type Aggregate struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+func aggregate(vals []float64) Aggregate {
+	var rep stats.Replication
+	a := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range vals {
+		rep.Add(v)
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Mean, a.StdDev = rep.Mean(), rep.StdDev()
+	return a
+}
+
+// RunReplicated repeats a steady-state experiment with `runs` different
+// seeds (cfg.Seed, cfg.Seed+1, …) and aggregates the results. The paper
+// notes that some of its plots (e.g. Fig. 9) average several simulations —
+// this is the corresponding driver.
+func RunReplicated(cfg Config, ps PatternSpec, load float64, warmup, measure, runs int) (ReplicatedResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	thr := make([]float64, 0, runs)
+	lat := make([]float64, 0, runs)
+	esc := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		r, err := RunSteady(c, ps, load, warmup, measure)
+		if err != nil {
+			return ReplicatedResult{}, err
+		}
+		thr = append(thr, r.Throughput)
+		lat = append(lat, r.AvgLatency)
+		esc = append(esc, r.EscapeFraction)
+	}
+	return ReplicatedResult{
+		Runs:           runs,
+		Throughput:     aggregate(thr),
+		AvgLatency:     aggregate(lat),
+		EscapeFraction: aggregate(esc),
+	}, nil
+}
+
+// TransientPoint is one bucket of the latency-by-send-cycle series.
+type TransientPoint struct {
+	Cycle       int64 // bucket start, relative to the pattern switch
+	MeanLatency float64
+	Count       int64
+}
+
+// TransientResult is the §VI-B measurement: average latency of the packets
+// *sent* in each cycle bucket, before and after a traffic-pattern switch.
+type TransientResult struct {
+	Routing  Routing
+	From, To string
+	Load     float64
+	SwitchAt int64 // absolute cycle of the switch
+	Points   []TransientPoint
+}
+
+// RunTransient warms the network with pattern `before` for warmup cycles,
+// switches to pattern `after`, and keeps simulating: `after` runs for run
+// cycles plus drain cycles with generation continuing, so that late
+// deliveries fill the send-cycle series. bucket sets the series resolution.
+func RunTransient(cfg Config, before, after PatternSpec, load float64, warmup, run, drain, bucket int) (TransientResult, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return TransientResult{}, err
+	}
+	pb := before.build(n.Topo)
+	pa := after.build(n.Topo)
+	switchAt := int64(warmup)
+	n.SetGenerator(traffic.NewTransient(pb, pa, switchAt, load, cfg.PacketSize))
+	n.Stats.EnableSeries(bucket)
+	n.Run(warmup + run + drain)
+	series := n.Stats.Series()
+	res := TransientResult{
+		Routing:  cfg.Routing,
+		From:     pb.Name(),
+		To:       pa.Name(),
+		Load:     load,
+		SwitchAt: switchAt,
+	}
+	// Report from shortly before the switch through the run window.
+	for i := 0; i < series.Len(); i++ {
+		cycle, mean, cnt := series.At(i)
+		if cycle < switchAt-int64(run)/2 || cycle > switchAt+int64(run) {
+			continue
+		}
+		if cnt == 0 || math.IsNaN(mean) {
+			continue
+		}
+		res.Points = append(res.Points, TransientPoint{Cycle: cycle - switchAt, MeanLatency: mean, Count: cnt})
+	}
+	return res, nil
+}
+
+// BurstResult is one §VI-C burst-consumption measurement.
+type BurstResult struct {
+	Routing   Routing
+	Pattern   string
+	PerNode   int
+	Packets   int64
+	Cycles    int64 // time to consume the whole burst
+	Drained   bool  // false when maxCycles elapsed first
+	RingUse   int64 // escape-ring entries during the burst
+	GlobalMis int64
+	LocalMis  int64
+}
+
+// RunBurst injects perNode packets from every node as fast as the network
+// accepts them and measures the time until all are delivered.
+func RunBurst(cfg Config, ps PatternSpec, perNode, maxCycles int) (BurstResult, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return BurstResult{}, err
+	}
+	pattern := ps.build(n.Topo)
+	n.SetGenerator(traffic.NewBurst(pattern, perNode, n.Topo.Nodes))
+	drained := n.RunUntilDrained(maxCycles)
+	res := BurstResult{
+		Routing:   cfg.Routing,
+		Pattern:   pattern.Name(),
+		PerNode:   perNode,
+		Packets:   n.Stats.Delivered,
+		Cycles:    n.Now(),
+		Drained:   drained,
+		RingUse:   n.Stats.RingEnters,
+		GlobalMis: n.Stats.GlobalMisroutes,
+		LocalMis:  n.Stats.LocalMisroutes,
+	}
+	if err := n.CheckConservation(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package ofar
+
+import "testing"
+
+// Go-native fuzz targets. In regular `go test` runs they execute the seed
+// corpus; `go test -fuzz FuzzParsePattern` explores further.
+
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{"UN", "ADV+3", "MIX1", "BITCOMP", "PERM", "adv+", "ADV+99999", "", "☃"} {
+		f.Add(seed, 3)
+	}
+	f.Fuzz(func(t *testing.T, s string, h int) {
+		if h < 1 || h > 8 {
+			h = 3
+		}
+		ps, err := ParsePattern(s, h)
+		if err != nil {
+			return
+		}
+		// Every accepted spec must build against a real topology.
+		sim, err := NewSimulator(DefaultConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ps.build(sim.Topology())
+		if p == nil || p.Name() == "" {
+			t.Fatalf("accepted pattern %q built %v", s, p)
+		}
+	})
+}
+
+func FuzzConfigFromJSON(f *testing.F) {
+	ok, _ := ConfigToJSON(DefaultConfig(2))
+	f.Add(ok)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"P":-1}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ConfigFromJSON(data)
+		if err != nil {
+			return
+		}
+		// Keep the build step bounded: the fuzzer may synthesize huge but
+		// valid topologies; building them proves nothing new.
+		if cfg.P > 4 || cfg.A > 8 || cfg.H > 4 || cfg.NumRings > 4 ||
+			cfg.LocalBuf > 1<<16 || cfg.GlobalBuf > 1<<16 || cfg.InjBuf > 1<<16 ||
+			cfg.LocalVCs > 8 || cfg.GlobalVCs > 8 || cfg.InjVCs > 8 ||
+			cfg.LocalLatency > 1<<12 || cfg.GlobalLatency > 1<<12 {
+			return
+		}
+		// Anything accepted must be buildable (ring construction may still
+		// reject degenerate shapes — that is a clean error, not a bug).
+		if _, err := NewSimulator(cfg); err != nil {
+			if cfg.Ring != RingNone {
+				return
+			}
+			t.Fatalf("validated config failed to build: %v (%+v)", err, cfg)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module ofar
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package network assembles the full simulated system: dragonfly topology,
+// routers with their buffers and credits, the escape subnetwork, the routing
+// engine, traffic sources and statistics, and drives the single-cycle loop.
+package network
+
+import (
+	"fmt"
+
+	"ofar/internal/core"
+	"ofar/internal/routing"
+)
+
+// RingMode selects how the escape subnetwork is realized (§IV-C, §VII).
+type RingMode int
+
+const (
+	// RingNone disables the escape network (only safe for mechanisms with
+	// VC-ordered deadlock avoidance: MIN, VAL, PB, UGAL).
+	RingNone RingMode = iota
+	// RingPhysical adds dedicated ring ports and links to every router.
+	RingPhysical
+	// RingEmbedded adds an escape VC to the canonical links along the ring.
+	RingEmbedded
+)
+
+func (m RingMode) String() string {
+	switch m {
+	case RingPhysical:
+		return "physical"
+	case RingEmbedded:
+		return "embedded"
+	default:
+		return "none"
+	}
+}
+
+// Routing names a routing mechanism.
+type Routing string
+
+// Available routing mechanisms.
+const (
+	MIN   Routing = "MIN"
+	VAL   Routing = "VAL"
+	PB    Routing = "PB"
+	UGAL  Routing = "UGAL-L"
+	PAR   Routing = "PAR"
+	OFAR  Routing = "OFAR"
+	OFARL Routing = "OFAR-L"
+)
+
+// Config describes one simulated network. DefaultConfig returns the paper's
+// §V parameters.
+type Config struct {
+	// Topology: P nodes/router, A routers/group, H global links/router,
+	// Groups groups (0 = maximum size a·h+1).
+	P, A, H, Groups int
+
+	PacketSize int // phits
+
+	LocalLatency  int // cycles
+	GlobalLatency int // cycles
+
+	LocalBuf  int // phits per local-link VC FIFO
+	GlobalBuf int // phits per global-link VC FIFO
+	InjBuf    int // phits per injection VC FIFO
+
+	LocalVCs  int
+	GlobalVCs int
+	InjVCs    int
+
+	Ring     RingMode
+	NumRings int // embedded rings (≥1; physical mode uses 1 per ring too)
+	RingVCs  int // VCs per physical ring port (embedded rings add 1 escape VC per link)
+	RingBuf  int // phits per escape VC FIFO
+
+	AllocIters int // separable allocator iterations
+
+	// PendingCap bounds the per-node source queue (packets); open-loop
+	// sources drop beyond it (counted as SourceBlocked), closed-loop
+	// sources retract and retry.
+	PendingCap int
+
+	Routing  Routing
+	OFAR     core.Config
+	Adaptive routing.AdaptiveConfig
+
+	// Congestion is the optional injection-throttling congestion manager
+	// (§VII lists congestion management as ongoing work; Fig. 9 shows the
+	// collapse it prevents).
+	Congestion CongestionConfig
+
+	Seed uint64
+}
+
+// CongestionConfig tunes the injection-throttling congestion manager: while
+// a router's canonical input buffering is occupied beyond the threshold
+// fraction, its nodes stop injecting (packets wait at the sources). This is
+// the simplest of the HPC congestion-management family the paper defers to
+// and is enough to keep the reduced-VC configuration of Fig. 9 from
+// collapsing.
+type CongestionConfig struct {
+	Enabled   bool
+	Threshold float64 // default 0.7 when Enabled and unset
+}
+
+// DefaultConfig returns the paper's §V configuration for a balanced
+// maximum-size dragonfly with the given h: p = h, a = 2h, 8-phit packets,
+// 10/100-cycle local/global latencies, 32/256-phit FIFOs, 3 local and
+// injection VCs, 2 global VCs, a physical escape ring with the same VC
+// counts, 3 allocator iterations, and OFAR's variable misroute threshold
+// Th_min = 0, Th_non-min = 0.9·Q_min.
+func DefaultConfig(h int) Config {
+	return Config{
+		P: h, A: 2 * h, H: h, Groups: 0,
+		PacketSize:    8,
+		LocalLatency:  10,
+		GlobalLatency: 100,
+		LocalBuf:      32,
+		GlobalBuf:     256,
+		InjBuf:        32,
+		LocalVCs:      3,
+		GlobalVCs:     2,
+		InjVCs:        3,
+		Ring:          RingPhysical,
+		NumRings:      1,
+		RingVCs:       3,
+		RingBuf:       32,
+		AllocIters:    3,
+		PendingCap:    16,
+		Routing:       OFAR,
+		OFAR:          core.DefaultConfig(),
+		Adaptive:      routing.DefaultAdaptiveConfig(),
+		Seed:          1,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c *Config) Validate() error {
+	switch {
+	case c.P < 1 || c.A < 1 || c.H < 1:
+		return fmt.Errorf("network: p/a/h must be positive")
+	case c.Groups < 0 || c.Groups > c.A*c.H+1:
+		return fmt.Errorf("network: group count %d outside [0, a·h+1=%d]", c.Groups, c.A*c.H+1)
+	case c.PacketSize < 1:
+		return fmt.Errorf("network: packet size must be positive")
+	case c.LocalLatency < 1 || c.GlobalLatency < 1:
+		return fmt.Errorf("network: link latencies must be ≥ 1")
+	case c.LocalBuf < c.PacketSize || c.GlobalBuf < c.PacketSize || c.InjBuf < c.PacketSize:
+		return fmt.Errorf("network: every VC FIFO must hold at least one packet (VCT)")
+	case c.LocalVCs < 1 || c.GlobalVCs < 1 || c.InjVCs < 1:
+		return fmt.Errorf("network: VC counts must be ≥ 1")
+	case c.AllocIters < 1:
+		return fmt.Errorf("network: allocator iterations must be ≥ 1")
+	case c.PendingCap < 1:
+		return fmt.Errorf("network: pending cap must be ≥ 1")
+	}
+	if c.Ring != RingNone {
+		if c.NumRings < 1 {
+			return fmt.Errorf("network: ring mode %v needs NumRings ≥ 1", c.Ring)
+		}
+		if c.RingBuf < 2*c.PacketSize {
+			return fmt.Errorf("network: escape VC FIFOs must hold ≥ 2 packets for the bubble condition")
+		}
+		if c.Ring == RingPhysical && c.RingVCs < 1 {
+			return fmt.Errorf("network: physical ring needs RingVCs ≥ 1")
+		}
+	}
+	if c.Congestion.Enabled && (c.Congestion.Threshold < 0 || c.Congestion.Threshold > 1) {
+		return fmt.Errorf("network: congestion threshold %f outside [0,1]", c.Congestion.Threshold)
+	}
+	switch c.Routing {
+	case MIN, VAL, PB, UGAL:
+	case PAR:
+		if c.LocalVCs < 4 || c.InjVCs < 4 {
+			return fmt.Errorf("network: PAR needs 4 local/injection VCs for its extra source-group hop (have %d/%d)", c.LocalVCs, c.InjVCs)
+		}
+	case OFAR, OFARL:
+		if c.Ring == RingNone && c.OFAR.EscapeTimeout >= 0 {
+			return fmt.Errorf("network: %s requires an escape ring (or EscapeTimeout < 0 to explicitly run unprotected)", c.Routing)
+		}
+	default:
+		return fmt.Errorf("network: unknown routing %q", c.Routing)
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+package network
+
+import (
+	"fmt"
+
+	"ofar/internal/core"
+	"ofar/internal/packet"
+	"ofar/internal/router"
+	"ofar/internal/routing"
+	"ofar/internal/simcore"
+	"ofar/internal/stats"
+	"ofar/internal/topology"
+	"ofar/internal/traffic"
+)
+
+type evKind uint8
+
+const (
+	evArrive evKind = iota
+	evDrain
+	evDrainDeliver
+	evCredit
+)
+
+type event struct {
+	pkt   *packet.Packet
+	r     int32
+	port  int16
+	vc    int16
+	phits int32
+	kind  evKind
+}
+
+// Network is one fully assembled simulated system.
+type Network struct {
+	Cfg     Config
+	Topo    *topology.Dragonfly
+	Routers []*router.Router
+	Engine  router.Engine
+	Rings   []*topology.Ring
+	Stats   *stats.Run
+
+	wheel      *simcore.Wheel[event]
+	pool       packet.Pool
+	trafficRNG *simcore.RNG
+	pending    []pqueue
+	gen        traffic.Generator
+	now        int64
+	usePB      bool
+	inFlight   int
+
+	congestionOn bool
+	congestionTh float64
+
+	// Path tracing (diagnostics/tests): when sampling is enabled, every
+	// N-th generated packet records its full hop sequence.
+	traceEvery int
+	traces     map[packet.ID]*Trace
+
+	// CongestionStalls counts node-cycles in which the congestion manager
+	// blocked an injection.
+	CongestionStalls int64
+}
+
+type pqueue struct {
+	q    []*packet.Packet
+	head int
+}
+
+func (p *pqueue) len() int { return len(p.q) - p.head }
+func (p *pqueue) push(x *packet.Packet) {
+	p.q = append(p.q, x)
+}
+func (p *pqueue) peek() *packet.Packet {
+	if p.len() == 0 {
+		return nil
+	}
+	return p.q[p.head]
+}
+func (p *pqueue) pop() *packet.Packet {
+	x := p.q[p.head]
+	p.q[p.head] = nil
+	p.head++
+	if p.head == len(p.q) {
+		p.q, p.head = p.q[:0], 0
+	} else if p.head > 64 && p.head*2 >= len(p.q) {
+		n := copy(p.q, p.q[p.head:])
+		for i := n; i < len(p.q); i++ {
+			p.q[i] = nil
+		}
+		p.q, p.head = p.q[:n], 0
+	}
+	return x
+}
+
+// New assembles a network from a configuration. A traffic generator must be
+// attached with SetGenerator before stepping.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(cfg.P, cfg.A, cfg.H, cfg.Groups)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg, Topo: topo}
+
+	if cfg.Ring != RingNone {
+		rings, err := topo.HamiltonianRings(cfg.NumRings)
+		if err != nil {
+			return nil, fmt.Errorf("network: escape ring construction: %w", err)
+		}
+		n.Rings = rings
+	}
+
+	switch cfg.Routing {
+	case MIN:
+		n.Engine = routing.NewMinimal(topo)
+	case VAL:
+		n.Engine = routing.NewValiant(topo)
+	case UGAL:
+		n.Engine = routing.NewUGAL(topo, cfg.Adaptive)
+	case PAR:
+		n.Engine = routing.NewPAR(topo, cfg.Adaptive)
+	case PB:
+		n.Engine = routing.NewPB(topo, cfg.Adaptive)
+		n.usePB = true
+	case OFAR, OFARL:
+		oc := cfg.OFAR
+		oc.LocalMisroute = cfg.Routing == OFAR
+		n.Engine = core.New(topo, oc)
+	}
+
+	// Input-buffer VC profiles per (router, input port); escape VCs of
+	// embedded rings are appended to the canonical profile of the links
+	// the ring traverses.
+	nPorts := topo.RouterPorts
+	if cfg.Ring == RingPhysical {
+		nPorts += cfg.NumRings
+	}
+	type prof struct {
+		caps []int
+		ring []int
+	}
+	profs := make([][]prof, topo.Routers)
+	mkProf := func(vcs, buf int, ring int) prof {
+		p := prof{caps: make([]int, vcs), ring: make([]int, vcs)}
+		for i := 0; i < vcs; i++ {
+			p.caps[i] = buf
+			p.ring[i] = ring
+		}
+		return p
+	}
+	for r := 0; r < topo.Routers; r++ {
+		profs[r] = make([]prof, nPorts)
+		for port := 0; port < topo.RouterPorts; port++ {
+			kind, _, _ := topo.Peer(r, port)
+			switch kind {
+			case topology.PortNode:
+				profs[r][port] = mkProf(cfg.InjVCs, cfg.InjBuf, -1)
+			case topology.PortLocal:
+				profs[r][port] = mkProf(cfg.LocalVCs, cfg.LocalBuf, -1)
+			case topology.PortGlobal:
+				profs[r][port] = mkProf(cfg.GlobalVCs, cfg.GlobalBuf, -1)
+			case topology.PortNone:
+				profs[r][port] = prof{}
+			}
+		}
+	}
+	if cfg.Ring == RingEmbedded {
+		for j, rg := range n.Rings {
+			for r := 0; r < topo.Routers; r++ {
+				out := rg.EmbeddedPort(r)
+				_, peer, peerPort := topo.Peer(r, out)
+				pp := &profs[peer][peerPort]
+				pp.caps = append(pp.caps, cfg.RingBuf)
+				pp.ring = append(pp.ring, j)
+			}
+		}
+	}
+	if cfg.Ring == RingPhysical {
+		for j := range n.Rings {
+			for r := 0; r < topo.Routers; r++ {
+				profs[r][topo.RouterPorts+j] = mkProf(cfg.RingVCs, cfg.RingBuf, j)
+			}
+		}
+	}
+
+	// Flag boards for PB (one per group).
+	var boards []*router.FlagBoard
+	if n.usePB {
+		boards = make([]*router.FlagBoard, topo.G)
+		for g := range boards {
+			boards[g] = router.NewFlagBoard(topo.A*topo.H, cfg.Adaptive.PBDelay)
+		}
+	}
+
+	rootRNG := simcore.NewRNG(cfg.Seed)
+	n.trafficRNG = rootRNG.Derive(0x7aff1c)
+
+	n.Routers = make([]*router.Router, topo.Routers)
+	for r := 0; r < topo.Routers; r++ {
+		ports := make([]router.PortSpec, nPorts)
+		for port := 0; port < topo.RouterPorts; port++ {
+			kind, peer, peerPort := topo.Peer(r, port)
+			ps := router.PortSpec{Kind: kind, Latency: 1}
+			switch kind {
+			case topology.PortNode:
+				ps.Peer, ps.PeerPort = -1, -1
+				ps.UpRouter, ps.UpPort = -1, -1
+				ps.InCaps, ps.InRing = profs[r][port].caps, profs[r][port].ring
+				ps.OutCaps, ps.OutRing = []int{cfg.PacketSize}, []int{-1}
+			case topology.PortNone:
+				ps.Peer, ps.PeerPort = -1, -1
+				ps.UpRouter, ps.UpPort = -1, -1
+			default:
+				ps.Peer, ps.PeerPort = peer, peerPort
+				ps.UpRouter, ps.UpPort = peer, peerPort
+				ps.Latency = cfg.LocalLatency
+				if kind == topology.PortGlobal {
+					ps.Latency = cfg.GlobalLatency
+				}
+				ps.InCaps, ps.InRing = profs[r][port].caps, profs[r][port].ring
+				ps.OutCaps, ps.OutRing = profs[peer][peerPort].caps, profs[peer][peerPort].ring
+			}
+			ports[port] = ps
+		}
+		var ringOuts []int
+		if cfg.Ring == RingPhysical {
+			for j, rg := range n.Rings {
+				port := topo.RouterPorts + j
+				lat := cfg.LocalLatency
+				if rg.EdgeIsGlobal(r) {
+					lat = cfg.GlobalLatency
+				}
+				prev := rg.Order[(rg.Pos(r)-1+len(rg.Order))%len(rg.Order)]
+				ports[port] = router.PortSpec{
+					Kind:     topology.PortRing,
+					Peer:     rg.Next(r),
+					PeerPort: port, // ring port index is uniform across routers
+					UpRouter: prev,
+					UpPort:   port,
+					Latency:  lat,
+					InCaps:   profs[r][port].caps, InRing: profs[r][port].ring,
+					OutCaps: profs[rg.Next(r)][port].caps, OutRing: profs[rg.Next(r)][port].ring,
+				}
+				ringOuts = append(ringOuts, port)
+			}
+		} else if cfg.Ring == RingEmbedded {
+			for _, rg := range n.Rings {
+				ringOuts = append(ringOuts, rg.EmbeddedPort(r))
+			}
+		}
+		var pb *router.FlagBoard
+		if n.usePB {
+			pb = boards[topo.GroupOf(r)]
+		}
+		n.Routers[r] = router.New(router.Params{
+			ID:          r,
+			Topo:        topo,
+			PktSize:     cfg.PacketSize,
+			AllocIters:  cfg.AllocIters,
+			RNG:         rootRNG.Derive(uint64(r) + 1),
+			Ports:       ports,
+			RingOuts:    ringOuts,
+			PB:          pb,
+			PBThreshold: cfg.Adaptive.PBThreshold,
+		})
+	}
+
+	horizon := cfg.GlobalLatency
+	if cfg.LocalLatency > horizon {
+		horizon = cfg.LocalLatency
+	}
+	if cfg.PacketSize > horizon {
+		horizon = cfg.PacketSize
+	}
+	n.wheel = simcore.NewWheel[event](horizon + 2)
+	n.pending = make([]pqueue, topo.Nodes)
+	n.Stats = stats.NewRun(topo.Nodes, cfg.PacketSize)
+	if cfg.Congestion.Enabled {
+		n.congestionOn = true
+		n.congestionTh = cfg.Congestion.Threshold
+		if n.congestionTh == 0 {
+			n.congestionTh = 0.7
+		}
+	}
+	return n, nil
+}
+
+// SetGenerator attaches the traffic source.
+func (n *Network) SetGenerator(g traffic.Generator) { n.gen = g }
+
+// Generator returns the attached traffic source.
+func (n *Network) Generator() traffic.Generator { return n.gen }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Step advances the simulation one cycle: deliver due events, generate and
+// inject traffic, publish PB flags, then run routing and switch allocation
+// on every router.
+func (n *Network) Step() {
+	now := n.now
+	for _, ev := range n.wheel.Advance() {
+		n.handle(ev, now)
+	}
+	if n.gen != nil {
+		n.generate(now)
+	}
+	if n.usePB {
+		for _, r := range n.Routers {
+			r.UpdatePBFlags(now)
+		}
+	}
+	for _, r := range n.Routers {
+		grants := r.Cycle(n.Engine, now)
+		for i := range grants {
+			n.commit(r, &grants[i], now)
+		}
+	}
+	n.now++
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drained reports whether the generator is exhausted and every generated
+// packet was delivered.
+func (n *Network) Drained() bool {
+	return n.gen.Done() && n.Stats.Generated == n.Stats.Delivered
+}
+
+// RunUntilDrained steps until the generator is exhausted and every packet
+// has been delivered, or maxCycles elapse. It returns true when drained.
+func (n *Network) RunUntilDrained(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if n.Drained() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Drained()
+}
+
+// Trace is the recorded journey of one packet.
+type Trace struct {
+	Src, Dst int
+	Hops     []TraceHop
+	Done     bool
+}
+
+// TraceHop is one crossbar transfer: the router, the output port taken and
+// whether it was an escape-channel move.
+type TraceHop struct {
+	Router int
+	Port   int
+	VC     int
+	Escape bool
+	Cycle  int64
+}
+
+// EnableTracing records the full path of every N-th generated packet
+// (N ≤ 1 traces everything). Intended for tests and debugging; tracing
+// allocates per packet.
+func (n *Network) EnableTracing(every int) {
+	if every < 1 {
+		every = 1
+	}
+	n.traceEvery = every
+	n.traces = make(map[packet.ID]*Trace)
+}
+
+// Traces returns the recorded packet journeys (nil unless enabled).
+func (n *Network) Traces() map[packet.ID]*Trace { return n.traces }
+
+func (n *Network) handle(ev event, now int64) {
+	switch ev.kind {
+	case evArrive:
+		n.inFlight--
+		n.Routers[ev.r].Arrive(int(ev.port), int(ev.vc), ev.pkt)
+	case evDrain, evDrainDeliver:
+		r := n.Routers[ev.r]
+		p, upR, upP := r.FinishDrain(int(ev.port), int(ev.vc))
+		if ev.kind == evDrain {
+			// The packet has fully left this buffer and is now only on the
+			// link (its arrival event is pending); with link latencies ≥
+			// packetSize-1 — true for all shipped configurations — this
+			// keeps the conservation accounting exact.
+			n.inFlight++
+		}
+		if upR >= 0 {
+			lat := n.Routers[upR].Out[upP].Latency
+			n.wheel.Schedule(lat-1, event{kind: evCredit, r: int32(upR), port: int16(upP), vc: ev.vc, phits: int32(p.Size)})
+		}
+		if ev.kind == evDrainDeliver {
+			p.Done = now
+			n.Stats.OnDeliver(p.Born, p.Injected, now, p.TotalHops, p.RingHops)
+			n.pool.Put(p)
+		}
+	case evCredit:
+		n.Routers[ev.r].AddCredit(int(ev.port), int(ev.vc), int(ev.phits))
+	}
+}
+
+func (n *Network) generate(now int64) {
+	topo := n.Topo
+	for node := 0; node < topo.Nodes; node++ {
+		pq := &n.pending[node]
+		if dst, ok := n.gen.Next(n.trafficRNG, node, now); ok {
+			if pq.len() >= n.Cfg.PendingCap {
+				n.gen.Retract(node)
+				n.Stats.SourceBlocked++
+			} else {
+				p := n.pool.Get()
+				p.Size = n.Cfg.PacketSize
+				p.Src, p.Dst = node, dst
+				p.SrcGroup = topo.GroupOfNode(node)
+				p.DstGroup = topo.GroupOfNode(dst)
+				p.Born = now
+				pq.push(p)
+				if n.traceEvery > 0 && n.Stats.Generated%int64(n.traceEvery) == 0 {
+					n.traces[p.ID] = &Trace{Src: node, Dst: dst}
+				}
+				n.Stats.Generated++
+			}
+		}
+		if p := pq.peek(); p != nil {
+			r := n.Routers[topo.RouterOf(node)]
+			if n.congestionOn && r.CanonicalOccupancy() >= n.congestionTh {
+				n.CongestionStalls++
+				continue
+			}
+			port := topo.NodePort(topo.NodeSlot(node))
+			if vc, ok := r.InjectionSpace(port, p.Size); ok {
+				pq.pop()
+				r.Inject(port, vc, p, now)
+				n.Engine.AtInjection(r, p, now)
+				n.Stats.Injected++
+			}
+		}
+	}
+}
+
+func (n *Network) commit(r *router.Router, g *router.Grant, now int64) {
+	p := g.Pkt
+	if n.traceEvery > 0 {
+		if tr, ok := n.traces[p.ID]; ok {
+			tr.Hops = append(tr.Hops, TraceHop{
+				Router: r.ID, Port: g.Req.Out, VC: g.Req.VC,
+				Escape: g.Req.Escape, Cycle: now,
+			})
+			if g.Eject {
+				tr.Done = true
+			}
+		}
+	}
+	if g.Eject {
+		n.wheel.Schedule(p.Size-1, event{kind: evDrainDeliver, r: int32(r.ID), port: int16(g.InPort), vc: int16(g.InVC)})
+	} else {
+		out := &r.Out[g.Req.Out]
+		n.wheel.Schedule(out.Latency, event{kind: evArrive, pkt: p, r: int32(out.Peer), port: int16(out.PeerPort), vc: int16(g.Req.VC)})
+		n.wheel.Schedule(p.Size-1, event{kind: evDrain, r: int32(r.ID), port: int16(g.InPort), vc: int16(g.InVC)})
+	}
+	n.Stats.AddUtilization(r.ID, g.Req.Out, p.Size)
+	if g.Req.SetGlobalMis {
+		n.Stats.GlobalMisroutes++
+	}
+	if g.Req.SetLocalMis {
+		n.Stats.LocalMisroutes++
+	}
+	if g.Req.EnterRing {
+		n.Stats.RingEnters++
+	}
+	if g.Req.ExitRing {
+		n.Stats.RingExits++
+	}
+	if g.Req.Escape && !g.Req.EnterRing {
+		n.Stats.RingHops++
+	}
+}
+
+// FailRingEdge breaks escape ring `ring` at the outgoing edge of `router`
+// (§VII: "OFAR could block the system with more than a single failure in
+// its Hamiltonian ring" — multiple embedded rings restore protection).
+func (n *Network) FailRingEdge(ring, router int) {
+	n.Routers[router].FailRing(ring)
+}
+
+// UtilizationByKind summarizes link utilization for one port class
+// (requires Stats.EnableUtilization before the run). Unwired ports are
+// excluded; physical escape-ring ports are reported under PortRing.
+func (n *Network) UtilizationByKind(kind topology.PortKind) stats.UtilizationSummary {
+	var counters []int64
+	for _, r := range n.Routers {
+		for port := range r.Out {
+			if r.Out[port].Kind != kind {
+				continue
+			}
+			counters = append(counters, n.Stats.Utilization(r.ID, port))
+		}
+	}
+	return stats.SummarizeUtilization(counters, n.now)
+}
+
+// BufferedPackets counts packets stored in router buffers (a packet counts
+// once per buffer it currently occupies; with link latencies ≥ packet size,
+// as in every shipped configuration, that is exactly once).
+func (n *Network) BufferedPackets() int {
+	total := 0
+	for _, r := range n.Routers {
+		for i := range r.In {
+			for vc := range r.In[i].VCs {
+				total += r.In[i].VCs[vc].Len()
+			}
+		}
+	}
+	return total
+}
+
+// PendingPackets counts packets waiting in source queues.
+func (n *Network) PendingPackets() int {
+	total := 0
+	for i := range n.pending {
+		total += n.pending[i].len()
+	}
+	return total
+}
+
+// InFlightPackets counts packets currently traversing links.
+func (n *Network) InFlightPackets() int { return n.inFlight }
+
+// CheckConservation verifies that every generated packet is accounted for:
+// delivered, waiting at a source, buffered in a router, or on a link.
+func (n *Network) CheckConservation() error {
+	inNet := int64(n.BufferedPackets() + n.InFlightPackets() + n.PendingPackets())
+	if n.Stats.Generated != n.Stats.Delivered+inNet {
+		return fmt.Errorf("network: conservation violated: generated=%d delivered=%d in-system=%d",
+			n.Stats.Generated, n.Stats.Delivered, inNet)
+	}
+	return nil
+}

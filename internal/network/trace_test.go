@@ -1,0 +1,100 @@
+package network
+
+import (
+	"testing"
+
+	"ofar/internal/topology"
+	"ofar/internal/traffic"
+)
+
+// validateTrace walks a recorded packet journey edge by edge against the
+// topology: every hop must use a real link of the claimed router, the
+// sequence must be physically connected, and the final hop must eject at
+// the destination router.
+func validateTrace(t *testing.T, n *Network, tr *Trace) {
+	t.Helper()
+	d := n.Topo
+	if len(tr.Hops) == 0 {
+		t.Fatal("empty trace")
+	}
+	cur := d.RouterOf(tr.Src)
+	for i, hop := range tr.Hops {
+		if hop.Router != cur {
+			t.Fatalf("hop %d at router %d, expected %d (trace %d->%d: %+v)",
+				i, hop.Router, cur, tr.Src, tr.Dst, tr.Hops)
+		}
+		if hop.Port < d.RouterPorts {
+			kind, peer, _ := d.Peer(hop.Router, hop.Port)
+			switch kind {
+			case topology.PortNode:
+				if i != len(tr.Hops)-1 {
+					t.Fatalf("ejected mid-route at hop %d", i)
+				}
+				if peer != tr.Dst {
+					t.Fatalf("ejected to node %d, want %d", peer, tr.Dst)
+				}
+				return
+			case topology.PortNone:
+				t.Fatalf("hop %d used an unwired port", i)
+			default:
+				cur = peer
+			}
+		} else {
+			// Physical ring port: the next router is the ring successor.
+			ring := hop.Port - d.RouterPorts
+			cur = n.Rings[ring].Next(hop.Router)
+		}
+	}
+	if tr.Done {
+		t.Fatalf("trace marked done but never ejected at %d", tr.Dst)
+	}
+}
+
+// TestTracedPathsAreValid drives every mechanism under mixed traffic and
+// validates every completed packet journey edge by edge.
+func TestTracedPathsAreValid(t *testing.T) {
+	for _, rt := range []Routing{MIN, VAL, PB, OFAR, OFARL} {
+		t.Run(string(rt), func(t *testing.T) {
+			cfg := testConfig(rt)
+			n := mustNet(t, cfg)
+			n.EnableTracing(7)
+			n.SetGenerator(traffic.NewBernoulli(traffic.NewAdv(n.Topo, n.Topo.H), 0.5, cfg.PacketSize))
+			n.Run(5000)
+			validated := 0
+			for _, tr := range n.Traces() {
+				if !tr.Done {
+					continue // still in flight
+				}
+				validateTrace(t, n, tr)
+				validated++
+			}
+			if validated < 10 {
+				t.Fatalf("only %d completed traces", validated)
+			}
+		})
+	}
+}
+
+// TestTraceEscapeHopsMarked: under overload OFAR traces include escape-ring
+// hops, and they are flagged as such.
+func TestTraceEscapeHopsMarked(t *testing.T) {
+	cfg := testConfig(OFAR)
+	n := mustNet(t, cfg)
+	n.EnableTracing(1)
+	n.SetGenerator(traffic.NewBernoulli(traffic.NewAdv(n.Topo, n.Topo.H), 1.0, cfg.PacketSize))
+	n.Run(6000)
+	escapeHops := 0
+	for _, tr := range n.Traces() {
+		for _, hop := range tr.Hops {
+			if hop.Escape {
+				escapeHops++
+				if hop.Port < n.Topo.RouterPorts {
+					t.Fatal("physical-ring configuration recorded an escape hop on a canonical port")
+				}
+			}
+		}
+	}
+	if n.Stats.RingEnters > 0 && escapeHops == 0 {
+		t.Error("ring used but no escape hops traced")
+	}
+}

@@ -1,0 +1,114 @@
+// Package packet defines the unit of information exchanged through the
+// simulated network: fixed-size virtual cut-through packets, their routing
+// header state, and a free-list pool that keeps allocation pressure off the
+// simulation hot loop.
+//
+// The simulator works at packet granularity for buffering decisions and at
+// phit granularity for bandwidth accounting: a packet of Size phits needs
+// Size cycles to cross a link or a crossbar port.
+package packet
+
+// ID uniquely identifies a packet within one simulation run.
+type ID uint64
+
+// Packet is a network packet. All fields are managed by the simulator; user
+// code observes packets only through statistics.
+type Packet struct {
+	ID   ID
+	Size int // size in phits
+
+	Src int // source node index
+	Dst int // destination node index
+
+	SrcGroup int // group of the source node (cached)
+	DstGroup int // group of the destination node (cached)
+
+	// ValiantGroup is the intermediate group chosen at injection time by
+	// source-adaptive mechanisms (VAL, PB, UGAL). It is < 0 when no
+	// intermediate group has been assigned, and it is cleared (set to -1)
+	// once the packet reaches the intermediate group, at which point the
+	// packet proceeds minimally.
+	ValiantGroup int
+
+	// Misroute header flags used by OFAR (paper §IV-A).
+	GlobalMisrouted bool // at most one global non-minimal hop per packet
+	LocalMisrouted  bool // at most one local non-minimal hop per group
+	// MisrouteGroup remembers the group in which LocalMisrouted was set so
+	// the flag can be reset when the packet changes group.
+	MisrouteGroup int
+
+	// Hop class counters used for deadlock-free VC selection by the
+	// baseline mechanisms (ascending VC order).
+	LocalHops  int // local hops taken so far
+	GlobalHops int // global hops taken so far
+	TotalHops  int
+
+	// Escape subnetwork state.
+	OnRing    bool // currently stored in an escape-ring buffer
+	Ring      int8 // index of the escape ring the packet rides (-1 off-ring)
+	RingExits int  // times the packet has left the escape ring
+	RingHops  int  // hops taken on the escape ring
+
+	// BlockedSince is the cycle at which the packet most recently became
+	// head of an input buffer without being able to advance; < 0 when the
+	// packet is not blocked. Drives the escape-ring timeout.
+	BlockedSince int64
+
+	// Timestamps (in cycles).
+	Born     int64 // generation time at the source node
+	Injected int64 // time the packet entered the injection buffer
+	Done     int64 // delivery completion time
+}
+
+// Reset clears a packet for reuse from the pool.
+func (p *Packet) Reset() {
+	*p = Packet{ValiantGroup: -1, MisrouteGroup: -1, BlockedSince: -1, Ring: -1}
+}
+
+// EnterGroup updates per-group header state when the packet arrives at a
+// router of group g: the local-misroute flag is per group, and a packet that
+// reaches its Valiant intermediate group reverts to minimal routing.
+func (p *Packet) EnterGroup(g int) {
+	if p.LocalMisrouted && p.MisrouteGroup != g {
+		p.LocalMisrouted = false
+		p.MisrouteGroup = -1
+	}
+	if p.ValiantGroup == g {
+		p.ValiantGroup = -1
+	}
+}
+
+// Pool is a free list of packets. It is not safe for concurrent use; the
+// simulator is single-threaded by design (single-cycle simulation), and
+// parallel experiments each own a private pool.
+type Pool struct {
+	free []*Packet
+	next ID
+}
+
+// Get returns a zeroed packet with a fresh ID.
+func (pl *Pool) Get() *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	} else {
+		p = new(Packet)
+	}
+	p.Reset()
+	pl.next++
+	p.ID = pl.next
+	return p
+}
+
+// Put returns a packet to the pool. The caller must not retain references.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Outstanding reports how many IDs have been handed out in total. Useful in
+// conservation tests.
+func (pl *Pool) Outstanding() uint64 { return uint64(pl.next) }

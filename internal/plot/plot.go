@@ -1,0 +1,181 @@
+// Package plot renders simple line charts as standalone SVG documents
+// using only the standard library. The experiment harness uses it to emit
+// figure files next to the textual tables, so the paper's plots can be
+// compared visually without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is one named polyline.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a 2-D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	// YMax forces the y-axis upper bound (0 = auto).
+	YMax float64
+
+	Width, Height int // pixels; defaults 640×420
+}
+
+// A small colorblind-safe palette (Okabe–Ito).
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, pts []Point) {
+	c.Series = append(c.Series, Series{Name: name, Points: pts})
+}
+
+// bounds computes the data extents.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		return 0, 1, 0, 1
+	}
+	if ymin > 0 {
+		ymin = 0 // latency/throughput charts read better anchored at zero
+	}
+	if c.YMax > 0 {
+		ymax = c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	const (
+		mLeft, mRight, mTop, mBottom = 70, 150, 40, 50
+	)
+	pw, ph := w-mLeft-mRight, h-mTop-mBottom
+	xmin, xmax, ymin, ymax := c.bounds()
+	px := func(x float64) float64 { return float64(mLeft) + (x-xmin)/(xmax-xmin)*float64(pw) }
+	py := func(y float64) float64 { return float64(mTop) + (1-(y-ymin)/(ymax-ymin))*float64(ph) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		mLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mLeft, mTop, mLeft, mTop+ph)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mLeft, mTop+ph, mLeft+pw, mTop+ph)
+
+	for _, t := range niceTicks(xmin, xmax, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n", x, mTop, x, mTop+ph)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, mTop+ph+16, fmtTick(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n", mLeft, y, mLeft+pw, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			mLeft-6, y+4, fmtTick(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		mLeft+pw/2, h-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mTop+ph/2, mTop+ph/2, escape(c.YLabel))
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		var path strings.Builder
+		for j, p := range pts {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(p.X), py(p.Y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(p.X), py(p.Y), color)
+		}
+		// Legend.
+		ly := mTop + 10 + i*20
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			mLeft+pw+12, ly, mLeft+pw+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			mLeft+pw+40, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

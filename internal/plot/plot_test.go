@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	c := &Chart{Title: "Latency vs load", XLabel: "load", YLabel: "cycles"}
+	c.Add("MIN", []Point{{0.1, 120}, {0.3, 140}, {0.5, 220}})
+	c.Add("OFAR", []Point{{0.1, 130}, {0.3, 150}, {0.5, 180}})
+	return c
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := sample().SVG()
+	// Must parse as XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "Latency vs load", "MIN", "OFAR", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := &Chart{Title: `a<b&"c"`}
+	c.Add("s<1>", []Point{{0, 0}, {1, 1}})
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b&") {
+		t.Error("unescaped title")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	svg := c.SVG() // must not panic or divide by zero
+	if !strings.Contains(svg, "<svg") {
+		t.Error("no svg output")
+	}
+}
+
+func TestSVGSinglePoint(t *testing.T) {
+	c := &Chart{}
+	c.Add("one", []Point{{2, 5}})
+	if svg := c.SVG(); !strings.Contains(svg, "<circle") {
+		t.Error("missing point marker")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 1, 6)
+	if len(ticks) < 3 || len(ticks) > 15 {
+		t.Errorf("tick count %d for [0,1]", len(ticks))
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	ticks = niceTicks(0, 1200, 6)
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 1201 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+}
+
+func TestYMaxOverride(t *testing.T) {
+	c := sample()
+	c.YMax = 1000
+	svg := c.SVG()
+	if !strings.Contains(svg, "1000") {
+		t.Error("forced y max not reflected in ticks")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(5) != "5" {
+		t.Errorf("fmtTick(5)=%q", fmtTick(5))
+	}
+	if fmtTick(0.25) != "0.25" {
+		t.Errorf("fmtTick(0.25)=%q", fmtTick(0.25))
+	}
+	if fmtTick(0.3) != "0.3" {
+		t.Errorf("fmtTick(0.3)=%q", fmtTick(0.3))
+	}
+}

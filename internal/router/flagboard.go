@@ -1,0 +1,43 @@
+package router
+
+// FlagBoard carries the piggybacked global-link congestion flags that the
+// PB mechanism broadcasts inside each group (Jiang et al., ISCA 2009; paper
+// §II/§V). Each router continuously publishes one boolean per global link
+// it owns; every router of the group reads the flags with a fixed broadcast
+// delay, modeling the local-link propagation of the piggybacked state.
+//
+// The board keeps delay+1 time slots so readers at cycle t see the values
+// written at cycle t-delay.
+type FlagBoard struct {
+	delay int
+	links int
+	hist  [][]bool
+}
+
+// NewFlagBoard creates a board for `links` global links with the given
+// broadcast delay in cycles.
+func NewFlagBoard(links, delay int) *FlagBoard {
+	if delay < 0 {
+		delay = 0
+	}
+	fb := &FlagBoard{delay: delay, links: links, hist: make([][]bool, delay+1)}
+	for i := range fb.hist {
+		fb.hist[i] = make([]bool, links)
+	}
+	return fb
+}
+
+// Set publishes the flag of one link at cycle now. Owners must publish every
+// cycle; stale slots are recycled.
+func (fb *FlagBoard) Set(now int64, link int, v bool) {
+	fb.hist[now%int64(len(fb.hist))][link] = v
+}
+
+// Get returns the delayed view of one link's flag at cycle now.
+func (fb *FlagBoard) Get(now int64, link int) bool {
+	t := now - int64(fb.delay)
+	if t < 0 {
+		return false
+	}
+	return fb.hist[t%int64(len(fb.hist))][link]
+}

@@ -1,0 +1,142 @@
+package router
+
+import (
+	"ofar/internal/topology"
+)
+
+// InPort is one input port of the router with its virtual-channel buffers.
+type InPort struct {
+	Kind topology.PortKind
+	VCs  []VCBuffer
+
+	// UpRouter/UpPort identify the upstream output port feeding this input,
+	// used to return credits; both are -1 for injection ports.
+	UpRouter int
+	UpPort   int
+
+	// busyUntil gates the port's 1 phit/cycle crossbar bandwidth: while a
+	// packet drains, no other VC of the port can be granted.
+	busyUntil int64
+}
+
+// Busy reports whether the port is still streaming a previous grant.
+func (ip *InPort) Busy(now int64) bool { return ip.busyUntil > now }
+
+// OutPort is one output port with per-VC credit counters mirroring the free
+// space of the downstream input buffer.
+type OutPort struct {
+	Kind topology.PortKind
+
+	// Peer/PeerPort identify the downstream router input; both are -1 for
+	// ejection (node) ports.
+	Peer     int
+	PeerPort int
+
+	// Latency is the link traversal latency in cycles.
+	Latency int
+
+	credits []int
+	vcCap   []int
+	// escRing maps each VC to the escape ring it belongs to, or -1 for
+	// canonical VCs.
+	escRing []int8
+
+	busyUntil int64
+
+	// canonical aggregates for the occupancy percentage used by adaptive
+	// routing thresholds (escape VCs excluded).
+	canCap     int
+	canCredits int
+}
+
+// initOut sets up the credit state. caps lists per-VC capacities; escRing
+// tags escape VCs (-1 = canonical).
+func (op *OutPort) initOut(caps []int, escRing []int8) {
+	op.credits = append([]int(nil), caps...)
+	op.vcCap = append([]int(nil), caps...)
+	op.escRing = append([]int8(nil), escRing...)
+	op.canCap, op.canCredits = 0, 0
+	for vc, c := range caps {
+		if escRing[vc] < 0 {
+			op.canCap += c
+			op.canCredits += c
+		}
+	}
+}
+
+// Busy reports whether the port is still serializing a previous grant.
+func (op *OutPort) Busy(now int64) bool { return op.busyUntil > now }
+
+// NumVCs returns the number of downstream VCs.
+func (op *OutPort) NumVCs() int { return len(op.credits) }
+
+// Credits returns the credit count of one VC.
+func (op *OutPort) Credits(vc int) int { return op.credits[vc] }
+
+// VCCap returns the capacity of one downstream VC.
+func (op *OutPort) VCCap(vc int) int { return op.vcCap[vc] }
+
+// EscapeRing returns the escape-ring index of a VC, or -1 for canonical VCs.
+func (op *OutPort) EscapeRing(vc int) int { return int(op.escRing[vc]) }
+
+// Occupancy returns the canonical downstream occupancy as a fraction in
+// [0,1], the quantity compared against misrouting thresholds (paper §IV-B
+// uses percentages because local and global buffers differ in size).
+func (op *OutPort) Occupancy() float64 {
+	if op.canCap == 0 {
+		return 0
+	}
+	return 1 - float64(op.canCredits)/float64(op.canCap)
+}
+
+// Take consumes credits for a departing packet.
+func (op *OutPort) Take(vc, size int) {
+	if op.credits[vc] < size {
+		panic("router: credit underflow")
+	}
+	op.credits[vc] -= size
+	if op.escRing[vc] < 0 {
+		op.canCredits -= size
+	}
+}
+
+// Refund returns credits after the downstream buffer frees the space.
+func (op *OutPort) Refund(vc, size int) {
+	op.credits[vc] += size
+	if op.escRing[vc] < 0 {
+		op.canCredits += size
+	}
+	if op.credits[vc] > op.vcCap[vc] {
+		panic("router: credit overflow")
+	}
+}
+
+// bestCanonicalVC returns the canonical VC with the most credits that fits
+// size phits.
+func (op *OutPort) bestCanonicalVC(size int) (int, bool) {
+	best, bestCr := -1, -1
+	for vc := range op.credits {
+		if op.escRing[vc] >= 0 {
+			continue
+		}
+		if cr := op.credits[vc]; cr >= size && cr > bestCr {
+			best, bestCr = vc, cr
+		}
+	}
+	return best, best >= 0
+}
+
+// bestEscapeVC returns the VC of the given escape ring with the most
+// credits (no size requirement; bubble checks are the caller's business).
+func (op *OutPort) bestEscapeVC(ring int) (int, bool) {
+	best, bestCr := -1, -1
+	for vc := range op.credits {
+		if int(op.escRing[vc]) != ring {
+			continue
+		}
+		if cr := op.credits[vc]; cr > bestCr {
+			best, bestCr = vc, cr
+		}
+	}
+	return best, best >= 0
+}

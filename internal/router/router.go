@@ -1,0 +1,536 @@
+package router
+
+import (
+	"fmt"
+
+	"ofar/internal/packet"
+	"ofar/internal/simcore"
+	"ofar/internal/topology"
+)
+
+// PortSpec describes one bidirectional port pair of a router: the input
+// buffer profile (what this router stores) and the output credit profile
+// (mirroring the downstream input buffer at the other end of the link).
+type PortSpec struct {
+	Kind     topology.PortKind
+	Peer     int // downstream router fed by this port's output; -1 when unwired
+	PeerPort int // downstream router's input-port index
+	// UpRouter/UpPort identify the upstream output feeding this port's
+	// input buffer. For canonical bidirectional links these equal
+	// Peer/PeerPort; unidirectional escape-ring ports differ (the input
+	// comes from the ring predecessor while the output feeds the
+	// successor).
+	UpRouter int
+	UpPort   int
+	Latency  int // link latency in cycles
+
+	InCaps  []int // per-VC capacities of this router's input buffer (phits)
+	InRing  []int // escape-ring tag per input VC (-1 canonical)
+	OutCaps []int // per-VC capacities of the downstream buffer (credits)
+	OutRing []int // escape-ring tag per downstream VC
+}
+
+// Params configures one router instance.
+type Params struct {
+	ID         int
+	Topo       *topology.Dragonfly
+	PktSize    int
+	AllocIters int // separable-allocator iterations (paper: 3)
+	RNG        *simcore.RNG
+	Ports      []PortSpec
+
+	// Escape subnetwork: output port realizing each ring's next hop
+	// (empty when no escape network is configured).
+	RingOuts []int
+
+	// PB piggybacking board shared by the router's group (nil when the
+	// routing mechanism does not use it).
+	PB          *FlagBoard
+	PBThreshold float64
+}
+
+// Router is one input-buffered VCT router.
+type Router struct {
+	ID    int
+	Group int
+	Topo  *topology.Dragonfly
+
+	In  []InPort
+	Out []OutPort
+
+	PktSize    int
+	AllocIters int
+
+	rng         *simcore.RNG
+	pb          *FlagBoard
+	pbThreshold float64
+
+	ringOuts []int32
+
+	// canonical input-buffer occupancy, tracked incrementally for the
+	// congestion-management injection throttle.
+	occPhits int
+	capPhits int
+
+	// allocator scratch state (reused every cycle)
+	inArb      []LRS
+	outArb     []LRS
+	reqs       []reqSlot
+	vcBase     []int32
+	cands      []int32 // per input port: flattened req index (-1)
+	candVC     []int32
+	outCand    [][]int32 // per output port: candidate input ports
+	touchedOut []int32
+	matchedIn  []bool
+	matchedOut []bool
+	grants     []Grant
+}
+
+type reqSlot struct {
+	valid bool
+	r     Request
+}
+
+// New builds a router from its parameter block.
+func New(p Params) *Router {
+	r := &Router{
+		ID:          p.ID,
+		Group:       p.Topo.GroupOf(p.ID),
+		Topo:        p.Topo,
+		PktSize:     p.PktSize,
+		AllocIters:  p.AllocIters,
+		rng:         p.RNG,
+		pb:          p.PB,
+		pbThreshold: p.PBThreshold,
+	}
+	if r.AllocIters < 1 {
+		r.AllocIters = 1
+	}
+	n := len(p.Ports)
+	r.In = make([]InPort, n)
+	r.Out = make([]OutPort, n)
+	r.inArb = make([]LRS, n)
+	r.outArb = make([]LRS, n)
+	r.vcBase = make([]int32, n+1)
+	r.cands = make([]int32, n)
+	r.candVC = make([]int32, n)
+	r.outCand = make([][]int32, n)
+	r.matchedIn = make([]bool, n)
+	r.matchedOut = make([]bool, n)
+	total := 0
+	for i, ps := range p.Ports {
+		r.vcBase[i] = int32(total)
+		in := &r.In[i]
+		in.Kind = ps.Kind
+		in.UpRouter, in.UpPort = ps.UpRouter, ps.UpPort
+		if ps.Kind == topology.PortNode {
+			in.UpRouter, in.UpPort = -1, -1
+		}
+		in.VCs = make([]VCBuffer, len(ps.InCaps))
+		for vc := range in.VCs {
+			ring := -1
+			if ps.InRing != nil {
+				ring = ps.InRing[vc]
+			}
+			in.VCs[vc].Init(ps.InCaps[vc], ring)
+			if ring < 0 {
+				r.capPhits += ps.InCaps[vc]
+			}
+		}
+		out := &r.Out[i]
+		out.Kind = ps.Kind
+		out.Peer, out.PeerPort = ps.Peer, ps.PeerPort
+		if ps.Kind == topology.PortNode {
+			out.Peer, out.PeerPort = -1, -1
+		}
+		out.Latency = ps.Latency
+		ringTags := make([]int8, len(ps.OutCaps))
+		for vc := range ringTags {
+			ringTags[vc] = -1
+			if ps.OutRing != nil {
+				ringTags[vc] = int8(ps.OutRing[vc])
+			}
+		}
+		out.initOut(ps.OutCaps, ringTags)
+		r.inArb[i].InitLRS(len(ps.InCaps))
+		r.outArb[i].InitLRS(n)
+		total += len(ps.InCaps)
+	}
+	r.vcBase[n] = int32(total)
+	r.reqs = make([]reqSlot, total)
+	r.ringOuts = make([]int32, len(p.RingOuts))
+	for i, po := range p.RingOuts {
+		r.ringOuts[i] = int32(po)
+	}
+	return r
+}
+
+// --- engine-facing helpers ---------------------------------------------------
+
+// RandInt returns a uniform integer in [0,n) from the router's private RNG.
+func (r *Router) RandInt(n int) int { return r.rng.Intn(n) }
+
+// OutBusy reports whether an output port is serializing a previous packet.
+func (r *Router) OutBusy(port int, now int64) bool { return r.Out[port].Busy(now) }
+
+// OutOcc returns the canonical occupancy fraction of the downstream buffer.
+func (r *Router) OutOcc(port int) float64 { return r.Out[port].Occupancy() }
+
+// OutOccVC returns the occupancy fraction of one downstream VC.
+func (r *Router) OutOccVC(port, vc int) float64 {
+	op := &r.Out[port]
+	if cap := op.VCCap(vc); cap > 0 {
+		return 1 - float64(op.Credits(vc))/float64(cap)
+	}
+	return 0
+}
+
+// Avail reports whether output `port` can accept a packet of `size` phits
+// right now, returning the canonical VC to use (the one with most credits).
+func (r *Router) Avail(port, size int, now int64) (int, bool) {
+	op := &r.Out[port]
+	if op.Kind == topology.PortNone || op.Busy(now) {
+		return -1, false
+	}
+	if op.Kind == topology.PortNode {
+		return 0, true // ejection has no credit constraint
+	}
+	return op.bestCanonicalVC(size)
+}
+
+// VCFits reports whether a specific downstream VC has credits for size phits
+// (ejection ports always fit).
+func (r *Router) VCFits(port, vc, size int) bool {
+	op := &r.Out[port]
+	if op.Kind == topology.PortNode {
+		return true
+	}
+	return op.Credits(vc) >= size
+}
+
+// NumRings returns the number of escape rings configured on this router.
+func (r *Router) NumRings() int { return len(r.ringOuts) }
+
+// RingOut returns the output port and escape VC continuing ring `ring` from
+// this router, along with that VC's current credits. A failed ring edge
+// (FailRing) reports ok == false.
+func (r *Router) RingOut(ring int) (port, vc, credits int, ok bool) {
+	if ring < 0 || ring >= len(r.ringOuts) {
+		return -1, -1, 0, false
+	}
+	port = int(r.ringOuts[ring])
+	if port < 0 {
+		return -1, -1, 0, false
+	}
+	op := &r.Out[port]
+	vc, ok = op.bestEscapeVC(ring)
+	if !ok {
+		return -1, -1, 0, false
+	}
+	return port, vc, op.Credits(vc), true
+}
+
+// FailRing marks this router's outgoing edge of the given escape ring as
+// failed (§VII reliability discussion): the ring can no longer be entered
+// or continued from here. Packets already queued on the ring upstream exit
+// through canonical outputs as usual.
+func (r *Router) FailRing(ring int) {
+	if ring >= 0 && ring < len(r.ringOuts) {
+		r.ringOuts[ring] = -1
+	}
+}
+
+// PBFlag returns the delayed piggybacked congestion flag of group-link
+// `link` (0..a·h-1) as seen at cycle now.
+func (r *Router) PBFlag(link int, now int64) bool {
+	if r.pb == nil {
+		return false
+	}
+	return r.pb.Get(now, link)
+}
+
+// UpdatePBFlags publishes the congestion state of this router's own global
+// links to the group's flag board; call once per cycle when PB is active.
+func (r *Router) UpdatePBFlags(now int64) {
+	if r.pb == nil {
+		return
+	}
+	base := r.Topo.GlobalPortBase()
+	rl := r.Topo.LocalIndex(r.ID)
+	for k := 0; k < r.Topo.H; k++ {
+		op := &r.Out[base+k]
+		if op.Kind == topology.PortNone {
+			continue
+		}
+		r.pb.Set(now, rl*r.Topo.H+k, op.Occupancy() >= r.pbThreshold)
+	}
+}
+
+// --- event-side interface (driven by the network) ---------------------------
+
+// Arrive stores a packet arriving on (port, vc) and updates its header: hop
+// counters, per-group flag lifetimes and Valiant-group completion.
+func (r *Router) Arrive(port, vc int, p *packet.Packet) {
+	inp := &r.In[port]
+	buf := &inp.VCs[vc]
+	buf.Push(p)
+	if !buf.Escape {
+		r.occPhits += p.Size
+	}
+	p.TotalHops++
+	if buf.Escape {
+		p.RingHops++
+	} else {
+		switch inp.Kind {
+		case topology.PortLocal:
+			p.LocalHops++
+		case topology.PortGlobal:
+			p.GlobalHops++
+		}
+	}
+	p.EnterGroup(r.Group)
+	p.BlockedSince = -1
+}
+
+// FinishDrain completes the transfer of the head packet of (port, vc),
+// freeing its buffer space. It returns the packet and the upstream output
+// coordinates that must be refunded (upRouter == -1 for injection buffers).
+func (r *Router) FinishDrain(port, vc int) (p *packet.Packet, upRouter, upPort int) {
+	inp := &r.In[port]
+	buf := &inp.VCs[vc]
+	p = buf.FinishDrain()
+	if !buf.Escape {
+		r.occPhits -= p.Size
+	}
+	return p, inp.UpRouter, inp.UpPort
+}
+
+// AddCredit refunds credits on an output port (a downstream buffer freed
+// space).
+func (r *Router) AddCredit(port, vc, phits int) { r.Out[port].Refund(vc, phits) }
+
+// InjectionSpace returns the injection VC of node-slot port `port` with the
+// most free space, if any fits a packet of `size` phits.
+func (r *Router) InjectionSpace(port, size int) (vc int, ok bool) {
+	inp := &r.In[port]
+	best, bestFree := -1, -1
+	for i := range inp.VCs {
+		if f := inp.VCs[i].Free(); f >= size && f > bestFree {
+			best, bestFree = i, f
+		}
+	}
+	return best, best >= 0
+}
+
+// Inject places a freshly generated packet into injection buffer (port, vc).
+func (r *Router) Inject(port, vc int, p *packet.Packet, now int64) {
+	p.Injected = now
+	r.In[port].VCs[vc].Push(p)
+	r.occPhits += p.Size
+}
+
+// CanonicalOccupancy returns the fraction of this router's canonical input
+// buffering that is currently occupied — the congestion signal used by the
+// injection throttle.
+func (r *Router) CanonicalOccupancy() float64 {
+	if r.capPhits == 0 {
+		return 0
+	}
+	return float64(r.occPhits) / float64(r.capPhits)
+}
+
+// QueuedPhits returns the total phits stored in this router's input buffers
+// (used by drain checks and conservation tests).
+func (r *Router) QueuedPhits() int {
+	total := 0
+	for i := range r.In {
+		for vc := range r.In[i].VCs {
+			total += r.In[i].VCs[vc].Occupied()
+		}
+	}
+	return total
+}
+
+// CheckCredits verifies that every output port's missing credits equal the
+// downstream buffer occupancy plus in-flight phits accounted by the caller.
+// It is used by integration tests; inFlight maps (router,port,vc) → phits.
+func (r *Router) CheckCredits(routers []*Router, inFlight func(router, port, vc int) int) error {
+	for po := range r.Out {
+		op := &r.Out[po]
+		if op.Kind == topology.PortNode || op.Kind == topology.PortNone {
+			continue
+		}
+		peer := routers[op.Peer]
+		for vc := range op.credits {
+			missing := op.vcCap[vc] - op.credits[vc]
+			down := peer.In[op.PeerPort].VCs[vc].Occupied()
+			fl := inFlight(r.ID, po, vc)
+			if missing != down+fl {
+				return fmt.Errorf("router %d port %d vc %d: missing=%d downstream=%d inflight=%d",
+					r.ID, po, vc, missing, down, fl)
+			}
+		}
+	}
+	return nil
+}
+
+// --- per-cycle routing + switch allocation -----------------------------------
+
+// Cycle runs routing decisions for all routable buffer heads and performs
+// the iterative separable switch allocation, committing the winners. It
+// returns the cycle's grants; the returned slice is reused next cycle.
+func (r *Router) Cycle(engine Engine, now int64) []Grant {
+	r.grants = r.grants[:0]
+	anyReq := false
+	for ip := range r.In {
+		inp := &r.In[ip]
+		base := int(r.vcBase[ip])
+		busy := inp.Busy(now)
+		for vc := range inp.VCs {
+			slot := &r.reqs[base+vc]
+			slot.valid = false
+			if busy {
+				continue
+			}
+			buf := &inp.VCs[vc]
+			if buf.Draining() || buf.Len() == 0 {
+				continue
+			}
+			p := buf.Head()
+			if p.BlockedSince < 0 {
+				p.BlockedSince = now
+			}
+			req, ok := engine.Route(r, InCtx{
+				Port: ip, VC: vc, Kind: inp.Kind,
+				Escape: buf.Escape, Ring: int(buf.Ring),
+			}, p, now)
+			if !ok {
+				continue
+			}
+			slot.valid = true
+			slot.r = req
+			anyReq = true
+		}
+	}
+	if !anyReq {
+		return r.grants
+	}
+
+	for i := range r.matchedIn {
+		r.matchedIn[i] = false
+		r.matchedOut[i] = false
+	}
+	for iter := 0; iter < r.AllocIters; iter++ {
+		// Input arbitration: each unmatched input port nominates its
+		// least-recently-served VC whose requested output is still free.
+		r.touchedOut = r.touchedOut[:0]
+		progress := false
+		for ip := range r.In {
+			r.cands[ip] = -1
+			if r.matchedIn[ip] || r.In[ip].Busy(now) {
+				continue
+			}
+			base := int(r.vcBase[ip])
+			n := len(r.In[ip].VCs)
+			arb := r.inArb[ip].lastServed
+			best := -1
+			var bestT int64
+			for vc := 0; vc < n; vc++ {
+				s := &r.reqs[base+vc]
+				if !s.valid {
+					continue
+				}
+				if r.matchedOut[s.r.Out] || r.Out[s.r.Out].Busy(now) {
+					continue
+				}
+				if best == -1 || arb[vc] < bestT {
+					best, bestT = vc, arb[vc]
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			out := r.reqs[base+best].r.Out
+			r.cands[ip] = int32(out)
+			r.candVC[ip] = int32(best)
+			if len(r.outCand[out]) == 0 {
+				r.touchedOut = append(r.touchedOut, int32(out))
+			}
+			r.outCand[out] = append(r.outCand[out], int32(ip))
+			progress = true
+		}
+		if !progress {
+			break
+		}
+		// Output arbitration: each free output grants its least-recently-
+		// served requesting input.
+		granted := false
+		for _, out32 := range r.touchedOut {
+			op := int(out32)
+			list := r.outCand[op]
+			r.outCand[op] = list[:0]
+			if r.matchedOut[op] {
+				continue
+			}
+			arb := r.outArb[op].lastServed
+			best := -1
+			var bestT int64
+			for _, ip32 := range list {
+				ip := int(ip32)
+				if arb[ip] < bestT || best == -1 {
+					best, bestT = ip, arb[ip]
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			vc := int(r.candVC[best])
+			r.matchedIn[best] = true
+			r.matchedOut[op] = true
+			r.inArb[best].Grant(vc, now)
+			r.outArb[op].Grant(best, now)
+			r.commit(best, vc, r.reqs[int(r.vcBase[best])+vc].r, now)
+			granted = true
+		}
+		if !granted {
+			break
+		}
+	}
+	return r.grants
+}
+
+// commit applies one allocation winner: the buffer starts draining, ports
+// serialize for the packet duration, credits are consumed, and the request's
+// header side effects are applied.
+func (r *Router) commit(ip, vc int, req Request, now int64) {
+	inp := &r.In[ip]
+	buf := &inp.VCs[vc]
+	p := buf.Head()
+	buf.BeginDrain()
+	size := int64(p.Size)
+	inp.busyUntil = now + size
+	out := &r.Out[req.Out]
+	out.busyUntil = now + size
+	eject := out.Kind == topology.PortNode
+	if !eject {
+		out.Take(req.VC, p.Size)
+	}
+	if req.SetGlobalMis {
+		p.GlobalMisrouted = true
+	}
+	if req.SetLocalMis {
+		p.LocalMisrouted = true
+		p.MisrouteGroup = r.Group
+	}
+	if req.EnterRing {
+		p.OnRing = true
+		p.Ring = req.Ring
+	}
+	if req.ExitRing {
+		p.OnRing = false
+		p.Ring = -1
+		p.RingExits++
+	}
+	p.BlockedSince = -1
+	r.grants = append(r.grants, Grant{InPort: ip, InVC: vc, Req: req, Pkt: p, Eject: eject})
+}

@@ -1,0 +1,181 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestRNGDeriveIndependent(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Derive(1)
+	parent2 := NewRNG(7)
+	_ = parent2.Derive(1)
+	c2 := parent2.Derive(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("derived streams 1 and 2 coincide")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) missed")
+		}
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/draws-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) rate %f", float64(hits)/draws)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestWheelDeliversInOrder(t *testing.T) {
+	w := NewWheel[int](10)
+	w.Schedule(0, 100)
+	w.Schedule(3, 103)
+	w.Schedule(3, 203)
+	w.Schedule(10, 110)
+	got := map[int64][]int{}
+	for c := int64(0); c <= 10; c++ {
+		for _, ev := range w.Advance() {
+			got[c] = append(got[c], ev)
+		}
+	}
+	if len(got[0]) != 1 || got[0][0] != 100 {
+		t.Errorf("cycle 0: %v", got[0])
+	}
+	if len(got[3]) != 2 {
+		t.Errorf("cycle 3: %v", got[3])
+	}
+	if len(got[10]) != 1 || got[10][0] != 110 {
+		t.Errorf("cycle 10: %v", got[10])
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending=%d", w.Pending())
+	}
+}
+
+func TestWheelWrapsAround(t *testing.T) {
+	w := NewWheel[int](4)
+	for round := 0; round < 20; round++ {
+		w.Schedule(4, round)
+		// delay d is delivered on the (d+1)-th Advance after scheduling.
+		for i := 0; i < 4; i++ {
+			if evs := w.Advance(); len(evs) != 0 {
+				t.Fatalf("round %d: early delivery %v", round, evs)
+			}
+		}
+		evs := w.Advance()
+		if len(evs) != 1 || evs[0] != round {
+			t.Fatalf("round %d: got %v", round, evs)
+		}
+	}
+}
+
+func TestWheelPanicsOutsideHorizon(t *testing.T) {
+	w := NewWheel[int](5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Schedule(6, 1)
+}
+
+func TestWheelCounts(t *testing.T) {
+	w := NewWheel[string](8)
+	w.Schedule(1, "a")
+	w.Schedule(2, "b")
+	if w.Pending() != 2 {
+		t.Fatalf("pending=%d", w.Pending())
+	}
+	w.Advance()
+	w.Advance()
+	w.Advance()
+	if w.Pending() != 0 || w.Now() != 3 {
+		t.Fatalf("pending=%d now=%d", w.Pending(), w.Now())
+	}
+}

@@ -1,0 +1,49 @@
+package simcore
+
+// Wheel is a timing wheel delivering opaque events at future cycles. The
+// simulator uses it for in-flight packets (arrival = departure + link
+// latency) and credit returns. The horizon must exceed the largest latency
+// scheduled; Schedule panics otherwise, which would indicate a configuration
+// bug rather than a runtime condition.
+type Wheel[T any] struct {
+	slots [][]T
+	now   int64
+	count int
+}
+
+// NewWheel builds a wheel with the given horizon (maximum schedulable delay).
+func NewWheel[T any](horizon int) *Wheel[T] {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &Wheel[T]{slots: make([][]T, horizon+1)}
+}
+
+// Schedule places ev at delay cycles in the future. delay must be in
+// [0, horizon]; delay 0 means "deliverable at the next Advance".
+func (w *Wheel[T]) Schedule(delay int, ev T) {
+	if delay < 0 || delay >= len(w.slots) {
+		panic("simcore: event delay outside wheel horizon")
+	}
+	idx := (int(w.now) + delay) % len(w.slots)
+	w.slots[idx] = append(w.slots[idx], ev)
+	w.count++
+}
+
+// Advance moves the wheel one cycle forward and returns the events due now.
+// The returned slice is owned by the wheel and valid until the slot wraps
+// (horizon cycles later); callers must consume it before the next wrap.
+func (w *Wheel[T]) Advance() []T {
+	idx := int(w.now) % len(w.slots)
+	due := w.slots[idx]
+	w.slots[idx] = w.slots[idx][:0]
+	w.now++
+	w.count -= len(due)
+	return due
+}
+
+// Pending reports how many events are scheduled but not yet delivered.
+func (w *Wheel[T]) Pending() int { return w.count }
+
+// Now returns the wheel's current cycle (number of Advance calls so far).
+func (w *Wheel[T]) Now() int64 { return w.now }

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-bucketed latency histogram: bucket i covers
+// [base·2^i, base·2^(i+1)). It supports percentile estimation without
+// retaining per-packet samples, which matters at millions of packets.
+type Histogram struct {
+	base    float64
+	buckets []int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram creates a histogram whose first bucket starts at base
+// (values below base land in bucket 0).
+func NewHistogram(base float64) *Histogram {
+	if base <= 0 {
+		base = 1
+	}
+	return &Histogram{base: base, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := 0
+	if v > h.base {
+		i = int(math.Log2(v / h.base))
+	}
+	for len(h.buckets) <= i {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extrema (±Inf when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the covering bucket. NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := h.base * math.Pow(2, float64(i))
+			hi := lo * 2
+			if i == 0 {
+				lo = 0
+			}
+			frac := (target - cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			// Clamp to the observed range for tight distributions.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// String renders a compact ASCII sketch, useful in examples and debugging.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	var peak int64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "histogram: n=%d mean=%.1f p50=%.0f p99=%.0f max=%.0f\n",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := h.base * math.Pow(2, float64(i))
+		bar := strings.Repeat("#", int(40*c/peak))
+		fmt.Fprintf(&b, "%8.0f.. %8d %s\n", lo, c, bar)
+	}
+	return b.String()
+}
+
+// Replication aggregates a metric across repeated simulations with
+// different seeds (the paper notes some of its figures average several
+// simulations).
+type Replication struct {
+	samples []float64
+}
+
+// Add records one run's value.
+func (r *Replication) Add(v float64) { r.samples = append(r.samples, v) }
+
+// N returns the number of runs.
+func (r *Replication) N() int { return len(r.samples) }
+
+// Mean returns the across-run mean (NaN when empty).
+func (r *Replication) Mean() float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range r.samples {
+		s += v
+	}
+	return s / float64(len(r.samples))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 runs).
+func (r *Replication) StdDev() float64 {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	m := r.Mean()
+	var ss float64
+	for _, v := range r.samples {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the middle sample.
+func (r *Replication) Median() float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), r.samples...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

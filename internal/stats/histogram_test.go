@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(8)
+	if h.Count() != 0 || !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram stats")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count=%d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean=%f", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max=%f/%f", h.Min(), h.Max())
+	}
+	// Log-bucket quantiles are approximate: p50 of 1..100 within a factor 2.
+	if q := h.Quantile(0.5); q < 25 || q > 100 {
+		t.Errorf("p50=%f", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("p100=%f", q)
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Error("invalid q accepted")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(4)
+	f := func(raw []uint16) bool {
+		for _, v := range raw {
+			h.Add(float64(v%5000) + 1)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(8)
+	if !strings.Contains(h.String(), "empty") {
+		t.Error("empty string form")
+	}
+	for i := 0; i < 64; i++ {
+		h.Add(float64(10 + i))
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=64") || !strings.Contains(s, "#") {
+		t.Errorf("string form: %q", s)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	var r Replication
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Median()) || r.StdDev() != 0 {
+		t.Error("empty replication stats")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 || r.Mean() != 5 {
+		t.Errorf("n=%d mean=%f", r.N(), r.Mean())
+	}
+	if got := r.StdDev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev=%f", got)
+	}
+	if got := r.Median(); got != 4.5 {
+		t.Errorf("median=%f", got)
+	}
+	var odd Replication
+	odd.Add(3)
+	odd.Add(1)
+	odd.Add(2)
+	if odd.Median() != 2 {
+		t.Errorf("odd median=%f", odd.Median())
+	}
+}
+
+func TestRunHistogramIntegration(t *testing.T) {
+	r := NewRun(10, 8)
+	r.EnableHistogram()
+	r.StartMeasurement(0)
+	for i := int64(1); i <= 50; i++ {
+		r.OnDeliver(0, 0, i*10, 3, 0)
+	}
+	if r.Histogram().Count() != 50 {
+		t.Errorf("histogram count=%d", r.Histogram().Count())
+	}
+	p50 := r.LatencyQuantile(0.5)
+	if math.IsNaN(p50) || p50 <= 0 || p50 > 500 {
+		t.Errorf("p50=%f", p50)
+	}
+	bare := NewRun(10, 8)
+	if !math.IsNaN(bare.LatencyQuantile(0.5)) {
+		t.Error("quantile without histogram")
+	}
+}
+
+func TestSummarizeUtilization(t *testing.T) {
+	s := SummarizeUtilization(nil, 100)
+	if s.Links != 0 || !math.IsNaN(s.Imbalance) {
+		t.Error("empty summary")
+	}
+	s = SummarizeUtilization([]int64{50, 100, 150, 900}, 1000)
+	if s.Links != 4 {
+		t.Errorf("links=%d", s.Links)
+	}
+	if math.Abs(s.Mean-0.3) > 1e-9 {
+		t.Errorf("mean=%f", s.Mean)
+	}
+	if s.Max != 0.9 {
+		t.Errorf("max=%f", s.Max)
+	}
+	if math.Abs(s.Imbalance-3.0) > 1e-9 {
+		t.Errorf("imbalance=%f", s.Imbalance)
+	}
+	if s.P95 != 0.9 {
+		t.Errorf("p95=%f", s.P95)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats accumulates the measurements reported in the paper's
+// evaluation: average packet latency, accepted throughput in
+// phits/(node·cycle), misrouting and escape-ring counters, per-send-cycle
+// latency series for transient experiments (Fig. 6), and per-link
+// utilization used to expose the §III local-link hotspots.
+package stats
+
+import "math"
+
+// Run accumulates the counters of one simulation.
+type Run struct {
+	Nodes      int
+	PacketSize int
+
+	// Lifetime counters (never reset).
+	Generated     int64
+	SourceBlocked int64 // Bernoulli draws dropped because the source queue was full
+	Injected      int64
+	Delivered     int64
+
+	GlobalMisroutes int64
+	LocalMisroutes  int64
+	RingEnters      int64
+	RingExits       int64
+	RingHops        int64
+
+	// Measurement window.
+	measuring    bool
+	measureStart int64
+	mDelivered   int64
+	mLatSum      float64
+	mLatCount    int64
+	mNetLatSum   float64
+	mHopsSum     int64
+	mLatMax      int64
+	mHopsMax     int
+	mCanHopsMax  int
+
+	series *Series
+	hist   *Histogram
+	util   []int64 // flattened per (router,port) busy-phit counter, optional
+	ports  int
+}
+
+// NewRun creates a statistics sink for a network of the given size.
+func NewRun(nodes, packetSize int) *Run {
+	return &Run{Nodes: nodes, PacketSize: packetSize}
+}
+
+// EnableSeries starts collecting the per-send-cycle latency series with the
+// given bucket width in cycles.
+func (r *Run) EnableSeries(bucket int) { r.series = NewSeries(bucket) }
+
+// Series returns the transient latency series (nil unless enabled).
+func (r *Run) Series() *Series { return r.series }
+
+// EnableHistogram starts collecting a log-bucketed latency histogram for
+// packets delivered during measurement windows.
+func (r *Run) EnableHistogram() { r.hist = NewHistogram(8) }
+
+// Histogram returns the latency histogram (nil unless enabled).
+func (r *Run) Histogram() *Histogram { return r.hist }
+
+// LatencyQuantile estimates a latency quantile of the measurement window;
+// NaN when the histogram is disabled or empty.
+func (r *Run) LatencyQuantile(q float64) float64 {
+	if r.hist == nil {
+		return math.NaN()
+	}
+	return r.hist.Quantile(q)
+}
+
+// EnableUtilization sizes the per-port utilization counters.
+func (r *Run) EnableUtilization(routers, ports int) {
+	r.util = make([]int64, routers*ports)
+	r.ports = ports
+}
+
+// AddUtilization accounts size phits sent through (router, port).
+func (r *Run) AddUtilization(router, port, size int) {
+	if r.util != nil {
+		r.util[router*r.ports+port] += int64(size)
+	}
+}
+
+// Utilization returns the busy-phit counter of (router, port), or 0 when
+// collection is disabled.
+func (r *Run) Utilization(router, port int) int64 {
+	if r.util == nil {
+		return 0
+	}
+	return r.util[router*r.ports+port]
+}
+
+// StartMeasurement begins the measurement window at cycle now (after
+// warm-up); previous window data is discarded.
+func (r *Run) StartMeasurement(now int64) {
+	r.measuring = true
+	r.measureStart = now
+	r.mDelivered = 0
+	r.mLatSum = 0
+	r.mNetLatSum = 0
+	r.mLatCount = 0
+	r.mHopsSum = 0
+	r.mLatMax = 0
+	r.mHopsMax = 0
+	r.mCanHopsMax = 0
+}
+
+// StopMeasurement freezes the window (deliveries stop accumulating).
+func (r *Run) StopMeasurement() { r.measuring = false }
+
+// OnDeliver accounts one delivered packet. born/injected/done are the packet
+// timestamps, hops its total hop count and ringHops the subset taken on the
+// escape subnetwork.
+func (r *Run) OnDeliver(born, injected, done int64, hops, ringHops int) {
+	r.Delivered++
+	lat := done - born
+	if r.series != nil {
+		r.series.Add(born, float64(lat))
+	}
+	if !r.measuring {
+		return
+	}
+	r.mDelivered++
+	if r.hist != nil {
+		r.hist.Add(float64(lat))
+	}
+	r.mLatSum += float64(lat)
+	r.mNetLatSum += float64(done - injected)
+	r.mLatCount++
+	r.mHopsSum += int64(hops)
+	if lat > r.mLatMax {
+		r.mLatMax = lat
+	}
+	if hops > r.mHopsMax {
+		r.mHopsMax = hops
+	}
+	if can := hops - ringHops; can > r.mCanHopsMax {
+		r.mCanHopsMax = can
+	}
+}
+
+// Throughput returns the accepted throughput of the measurement window in
+// phits/(node·cycle), where now is the cycle the window ended.
+func (r *Run) Throughput(now int64) float64 {
+	cycles := now - r.measureStart
+	if cycles <= 0 || r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.mDelivered) * float64(r.PacketSize) / float64(r.Nodes) / float64(cycles)
+}
+
+// AvgLatency returns the mean generation-to-delivery latency (cycles) of
+// packets delivered during the measurement window, NaN when none.
+func (r *Run) AvgLatency() float64 {
+	if r.mLatCount == 0 {
+		return math.NaN()
+	}
+	return r.mLatSum / float64(r.mLatCount)
+}
+
+// AvgNetworkLatency returns the mean injection-to-delivery latency.
+func (r *Run) AvgNetworkLatency() float64 {
+	if r.mLatCount == 0 {
+		return math.NaN()
+	}
+	return r.mNetLatSum / float64(r.mLatCount)
+}
+
+// AvgHops returns the mean hop count of measured packets.
+func (r *Run) AvgHops() float64 {
+	if r.mLatCount == 0 {
+		return math.NaN()
+	}
+	return float64(r.mHopsSum) / float64(r.mLatCount)
+}
+
+// MaxLatency returns the largest latency observed in the window.
+func (r *Run) MaxLatency() int64 { return r.mLatMax }
+
+// MaxHops returns the largest total hop count observed in the window.
+func (r *Run) MaxHops() int { return r.mHopsMax }
+
+// MaxCanonicalHops returns the largest non-escape hop count observed in the
+// window — the quantity bounded by each mechanism's routing discipline
+// (3 for MIN, 5 for VAL/PB/UGAL, 6 for PAR, 8 for OFAR between ring visits).
+func (r *Run) MaxCanonicalHops() int { return r.mCanHopsMax }
+
+// MeasuredPackets returns how many deliveries the window captured.
+func (r *Run) MeasuredPackets() int64 { return r.mDelivered }
+
+// Series buckets delivered-packet latencies by generation cycle: the paper's
+// transient plots show "the average latency of the packets that are sent
+// each cycle" (§VI-B).
+type Series struct {
+	bucket int
+	sum    []float64
+	count  []int64
+}
+
+// NewSeries creates a series with the given bucket width (cycles).
+func NewSeries(bucket int) *Series {
+	if bucket < 1 {
+		bucket = 1
+	}
+	return &Series{bucket: bucket}
+}
+
+// Add records a packet generated at cycle born with the given latency.
+func (s *Series) Add(born int64, latency float64) {
+	i := int(born) / s.bucket
+	for len(s.sum) <= i {
+		s.sum = append(s.sum, 0)
+		s.count = append(s.count, 0)
+	}
+	s.sum[i] += latency
+	s.count[i]++
+}
+
+// BucketWidth returns the bucket width in cycles.
+func (s *Series) BucketWidth() int { return s.bucket }
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.sum) }
+
+// At returns the start cycle, mean latency and sample count of bucket i.
+func (s *Series) At(i int) (cycle int64, mean float64, n int64) {
+	cycle = int64(i) * int64(s.bucket)
+	n = s.count[i]
+	if n > 0 {
+		mean = s.sum[i] / float64(n)
+	} else {
+		mean = math.NaN()
+	}
+	return
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunMeasurementWindow(t *testing.T) {
+	r := NewRun(100, 8)
+	// Deliveries before the window must not count toward the averages.
+	r.OnDeliver(0, 0, 50, 3, 0)
+	r.StartMeasurement(100)
+	r.OnDeliver(90, 95, 150, 3, 0) // latency 60
+	r.OnDeliver(100, 100, 180, 5, 1)
+	if r.Delivered != 3 {
+		t.Errorf("lifetime delivered=%d", r.Delivered)
+	}
+	if r.MeasuredPackets() != 2 {
+		t.Errorf("measured=%d", r.MeasuredPackets())
+	}
+	if got := r.AvgLatency(); got != 70 { // (60+80)/2
+		t.Errorf("avg latency=%f", got)
+	}
+	if got := r.AvgNetworkLatency(); got != (55+80)/2.0 {
+		t.Errorf("avg net latency=%f", got)
+	}
+	if got := r.AvgHops(); got != 4 {
+		t.Errorf("avg hops=%f", got)
+	}
+	if got := r.MaxLatency(); got != 80 {
+		t.Errorf("max=%d", got)
+	}
+	if r.MaxHops() != 5 || r.MaxCanonicalHops() != 4 {
+		t.Errorf("hop maxima: %d/%d", r.MaxHops(), r.MaxCanonicalHops())
+	}
+	// Throughput: 2 packets × 8 phits / 100 nodes / 100 cycles.
+	if got := r.Throughput(200); math.Abs(got-0.0016) > 1e-12 {
+		t.Errorf("throughput=%f", got)
+	}
+	r.StopMeasurement()
+	r.OnDeliver(120, 120, 300, 3, 0)
+	if r.MeasuredPackets() != 2 {
+		t.Error("delivery counted after StopMeasurement")
+	}
+}
+
+func TestRunEmptyWindow(t *testing.T) {
+	r := NewRun(10, 8)
+	r.StartMeasurement(0)
+	if !math.IsNaN(r.AvgLatency()) || !math.IsNaN(r.AvgHops()) {
+		t.Error("empty window should report NaN")
+	}
+	if r.Throughput(0) != 0 {
+		t.Error("throughput of empty zero-length window")
+	}
+}
+
+func TestSeriesBuckets(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(0, 10)
+	s.Add(99, 30)
+	s.Add(100, 50)
+	s.Add(505, 70)
+	if s.Len() != 6 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	cycle, mean, n := s.At(0)
+	if cycle != 0 || mean != 20 || n != 2 {
+		t.Errorf("bucket 0: %d %f %d", cycle, mean, n)
+	}
+	cycle, mean, n = s.At(1)
+	if cycle != 100 || mean != 50 || n != 1 {
+		t.Errorf("bucket 1: %d %f %d", cycle, mean, n)
+	}
+	_, mean, n = s.At(3)
+	if n != 0 || !math.IsNaN(mean) {
+		t.Errorf("empty bucket: %f %d", mean, n)
+	}
+	if s.BucketWidth() != 100 {
+		t.Error("bucket width")
+	}
+}
+
+func TestSeriesMinimumBucket(t *testing.T) {
+	s := NewSeries(0)
+	if s.BucketWidth() != 1 {
+		t.Error("bucket width not clamped to 1")
+	}
+}
+
+func TestRunSeriesIntegration(t *testing.T) {
+	r := NewRun(10, 8)
+	r.EnableSeries(10)
+	r.OnDeliver(5, 5, 25, 2, 0) // recorded regardless of measurement state
+	if r.Series() == nil || r.Series().Len() != 1 {
+		t.Fatal("series not collecting")
+	}
+	_, mean, n := r.Series().At(0)
+	if mean != 20 || n != 1 {
+		t.Errorf("series bucket: %f %d", mean, n)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := NewRun(10, 8)
+	if r.Utilization(0, 0) != 0 {
+		t.Error("disabled utilization nonzero")
+	}
+	r.AddUtilization(1, 2, 8) // no-op while disabled
+	r.EnableUtilization(4, 5)
+	r.AddUtilization(1, 2, 8)
+	r.AddUtilization(1, 2, 8)
+	r.AddUtilization(3, 4, 8)
+	if r.Utilization(1, 2) != 16 || r.Utilization(3, 4) != 8 || r.Utilization(0, 0) != 0 {
+		t.Error("utilization accounting wrong")
+	}
+}
+
+func TestStartMeasurementResets(t *testing.T) {
+	r := NewRun(10, 8)
+	r.StartMeasurement(0)
+	r.OnDeliver(1, 1, 11, 2, 0)
+	r.StartMeasurement(100)
+	if r.MeasuredPackets() != 0 || !math.IsNaN(r.AvgLatency()) || r.MaxLatency() != 0 {
+		t.Error("window not reset")
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// UtilizationSummary aggregates per-port utilization counters into the
+// statistics the §III discussion is about: how evenly each link class
+// carries load, and where the hotspots are.
+type UtilizationSummary struct {
+	Links int     // ports of this class with any wiring
+	Mean  float64 // mean busy fraction
+	Max   float64 // hottest link
+	P95   float64 // 95th percentile busy fraction
+	// Imbalance is Max/Mean (1.0 = perfectly level); NaN when idle.
+	Imbalance float64
+}
+
+// SummarizeUtilization reduces a set of busy-phit counters to a summary.
+// counters are raw phit counts; cycles is the elapsed simulation time.
+func SummarizeUtilization(counters []int64, cycles int64) UtilizationSummary {
+	s := UtilizationSummary{Links: len(counters), Imbalance: math.NaN()}
+	if len(counters) == 0 || cycles <= 0 {
+		return s
+	}
+	utils := make([]float64, len(counters))
+	var sum float64
+	for i, c := range counters {
+		utils[i] = float64(c) / float64(cycles)
+		sum += utils[i]
+		if utils[i] > s.Max {
+			s.Max = utils[i]
+		}
+	}
+	sort.Float64s(utils)
+	s.Mean = sum / float64(len(utils))
+	idx := int(math.Ceil(0.95 * float64(len(utils)-1)))
+	s.P95 = utils[idx]
+	if s.Mean > 0 {
+		s.Imbalance = s.Max / s.Mean
+	}
+	return s
+}

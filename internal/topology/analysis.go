@@ -1,0 +1,80 @@
+package topology
+
+// Analytic throughput bounds from §III of the paper. These are used by the
+// "bounds" experiment and by tests that check the simulator reproduces the
+// predicted saturation ceilings.
+
+// MinGlobalWorstCaseThroughput returns the per-node throughput ceiling when
+// all 2h² nodes of a group send to the same destination group under minimal
+// routing: a single global link (1 phit/cycle) is shared by a·p nodes.
+func (d *Dragonfly) MinGlobalWorstCaseThroughput() float64 {
+	return 1.0 / float64(d.A*d.P)
+}
+
+// MinLocalWorstCaseThroughput returns the per-node throughput ceiling when
+// the p nodes of one router send minimally to nodes of a neighbour router of
+// the same group: one local link shared by p nodes.
+func (d *Dragonfly) MinLocalWorstCaseThroughput() float64 {
+	return 1.0 / float64(d.P)
+}
+
+// ValiantThroughputBound returns the per-node ceiling imposed by global
+// links under Valiant routing (two global hops per packet on average): 1/2.
+func (d *Dragonfly) ValiantThroughputBound() float64 { return 0.5 }
+
+// ValiantLocalSaturationBound returns the per-node ceiling imposed by the
+// intermediate local link l2 under ADV+n·h traffic with Valiant routing
+// (paper §III, Fig. 2a): all traffic entering a router of the intermediate
+// group through its h global links must leave through the single local link
+// to the next router, so throughput caps at 1/h.
+func (d *Dragonfly) ValiantLocalSaturationBound() float64 {
+	return 1.0 / float64(d.H)
+}
+
+// AdvValiantLocalCap computes, for ADV+offset traffic under Valiant routing
+// with uniformly chosen intermediate groups, the per-node throughput ceiling
+// imposed by the intermediate local hop l2 (paper §III, Fig. 2a/2b). For an
+// intermediate group m, traffic from source group s enters on the global
+// link s→m and must continue toward group s+offset; when entry and exit
+// routers differ the flow loads one directed local link. Each of the G−2
+// intermediate groups receives 1/(G−2) of every source group's a·p·load
+// phits/cycle, so the most loaded local link saturates at
+//
+//	load = (G−2) / (maxFlows · a · p)
+//
+// where maxFlows is the largest number of flows sharing one directed local
+// link. Offsets that are multiples of h concentrate h flows on a single link,
+// capping throughput at ≈ 1/h; the returned value is clamped to 1.0.
+func (d *Dragonfly) AdvValiantLocalCap(offset int) float64 {
+	if d.G < 3 {
+		return 1.0
+	}
+	load := make(map[[2]int]int)
+	m := 0 // by symmetry all intermediate groups see the same pattern
+	for s := 0; s < d.G; s++ {
+		dg := (s + offset) % d.G
+		if s == m || dg == m || s == dg {
+			continue
+		}
+		inR, _ := d.GlobalEntry(m, s) // same physical link as s→m
+		outR, _ := d.GlobalEntry(m, dg)
+		if inR == outR {
+			continue // no l2 needed
+		}
+		load[[2]int{inR, outR}]++
+	}
+	max := 0
+	for _, c := range load {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return 1.0
+	}
+	cap := float64(d.G-2) / (float64(max) * float64(d.A*d.P))
+	if cap > 1.0 {
+		cap = 1.0
+	}
+	return cap
+}

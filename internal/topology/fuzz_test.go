@@ -1,0 +1,58 @@
+package topology
+
+import "testing"
+
+// FuzzTopologyInvariants builds random small dragonflies and checks the
+// wiring invariants plus minimal-route validity.
+func FuzzTopologyInvariants(f *testing.F) {
+	f.Add(1, 2, 1, 0)
+	f.Add(2, 4, 2, 0)
+	f.Add(2, 4, 2, 5)
+	f.Add(3, 6, 3, 19)
+	f.Add(1, 3, 2, 4) // unbalanced
+	f.Fuzz(func(t *testing.T, p, a, h, groups int) {
+		if p < 1 || a < 1 || h < 1 || p > 4 || a > 8 || h > 4 {
+			return
+		}
+		if groups < 0 || groups > a*h+1 {
+			return
+		}
+		d, err := New(p, a, h, groups)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("p=%d a=%d h=%d g=%d: %v", p, a, h, groups, err)
+		}
+		// Minimal routes reach their destination within the diameter.
+		step := d.Nodes/7 + 1
+		for src := 0; src < d.Nodes; src += step {
+			for dst := 0; dst < d.Nodes; dst += step {
+				if src == dst {
+					continue
+				}
+				r := d.RouterOf(src)
+				delivered := false
+				for hops := 0; hops <= 3; hops++ {
+					port := d.MinimalPort(r, dst)
+					kind, peer, _ := d.Peer(r, port)
+					if kind == PortNode {
+						if peer != dst {
+							t.Fatalf("misdelivery %d->%d got %d", src, dst, peer)
+						}
+						delivered = true
+						break
+					}
+					if kind == PortNone {
+						t.Fatalf("minimal route via unwired port (src %d dst %d)", src, dst)
+					}
+					r = peer
+				}
+				if !delivered {
+					t.Fatalf("no delivery within diameter: %d->%d (p=%d a=%d h=%d g=%d)",
+						src, dst, p, a, h, groups)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// Ring is a Hamiltonian ring over all routers of a dragonfly, used as the
+// deadlock-free escape subnetwork (paper §IV-C). A ring is described by the
+// cyclic router order; consecutive routers are connected either by an
+// existing local link, or by the global link stitching one group to the
+// next. The ring can be realized physically (dedicated ports) or embedded
+// (an extra escape VC on the canonical links it traverses).
+type Ring struct {
+	// Order is the cyclic sequence of routers; len(Order) == Routers and
+	// every router appears exactly once.
+	Order []int
+
+	// Offset is the group offset used for stitching (ring j uses j+1).
+	Offset int
+
+	next []int32 // successor router per router
+	pos  []int32 // position of each router in Order
+	port []int32 // canonical output port toward the successor (embedded realization)
+	glob []bool  // true when the edge to the successor is a global link
+}
+
+// Next returns the successor of router r on the ring.
+func (rg *Ring) Next(r int) int { return int(rg.next[r]) }
+
+// Pos returns the position of router r in the ring order.
+func (rg *Ring) Pos(r int) int { return int(rg.pos[r]) }
+
+// EmbeddedPort returns the canonical output port of router r that realizes
+// the ring edge toward its successor when the ring is embedded.
+func (rg *Ring) EmbeddedPort(r int) int { return int(rg.port[r]) }
+
+// EdgeIsGlobal reports whether the ring edge leaving router r is a global
+// link (long wire) rather than a local one.
+func (rg *Ring) EdgeIsGlobal(r int) bool { return rg.glob[r] }
+
+// DistanceOnRing returns the number of ring hops from router a to router b
+// following ring direction.
+func (rg *Ring) DistanceOnRing(a, b int) int {
+	n := len(rg.Order)
+	return (int(rg.pos[b]) - int(rg.pos[a]) + n) % n
+}
+
+// HamiltonianRing builds the default escape ring (group offset 1): within
+// each group routers are visited on a Hamiltonian path from the entry router
+// to router 0, then the offset-1 global link leads to the next group.
+func (d *Dragonfly) HamiltonianRing() (*Ring, error) {
+	rings, err := d.HamiltonianRings(1)
+	if err != nil {
+		return nil, err
+	}
+	return rings[0], nil
+}
+
+// HamiltonianRings builds k link-disjoint Hamiltonian rings (paper §VII:
+// up to h edge-disjoint rings can be embedded). Each ring stitches groups
+// with a fixed group offset; within-group Hamiltonian paths are found by
+// backtracking while avoiding local edges used by previous rings. The stitch
+// offset for each ring is searched over all offsets coprime with G, since
+// the entry/exit routers implied by an offset may make an edge-disjoint path
+// decomposition impossible (e.g. two rings sharing both endpoints in K4).
+// An error is returned when the requested count cannot be realized.
+func (d *Dragonfly) HamiltonianRings(k int) ([]*Ring, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topology: ring count %d < 1", k)
+	}
+	if d.G == 1 {
+		return d.singleGroupRings(k)
+	}
+	if k > d.H {
+		return nil, fmt.Errorf("topology: at most h=%d edge-disjoint rings (requested %d)", d.H, k)
+	}
+	if k > 1 && d.A%2 == 0 && d.G == d.A*d.H+1 {
+		// Maximum-size network with even a: use the zigzag Hamiltonian-path
+		// decomposition of K_a, which guarantees k ≤ h disjoint rings.
+		return d.ringsZigzag(k)
+	}
+	// forbidden local edges per group, encoded lo*A+hi.
+	forbidden := make([]map[int]bool, d.G)
+	for g := range forbidden {
+		forbidden[g] = make(map[int]bool)
+	}
+	usedOffset := make(map[int]bool)
+	rings := make([]*Ring, 0, k)
+	for j := 0; j < k; j++ {
+		var rg *Ring
+		for off := 1; off < d.G && off <= d.A*d.H; off++ {
+			if usedOffset[off] || gcd(off, d.G) != 1 {
+				continue
+			}
+			// Stitch link: group g's link index off-1 (exit router x)
+			// arrives at the next group's link index G-1-off (entry e).
+			x := (off - 1) / d.H
+			e := (d.G - 1 - off) / d.H
+			if e == x && d.A > 1 {
+				continue
+			}
+			cand, err := d.assembleRing(off, e, x, forbidden)
+			if err != nil {
+				continue // try the next offset
+			}
+			rg = cand
+			usedOffset[off] = true
+			break
+		}
+		if rg == nil {
+			return nil, fmt.Errorf("%w: no stitch offset admits ring %d", ErrTooSmall, j)
+		}
+		rings = append(rings, rg)
+	}
+	return rings, nil
+}
+
+// ringsZigzag builds k disjoint rings on a maximum-size network (G = a·h+1,
+// a even) using the classical decomposition of K_a into a/2 edge-disjoint
+// Hamiltonian paths. Ring j stitches groups with an offset from "row" j
+// (offsets j·h+1 .. j·h+h all exit from router j and enter at router a−1−j),
+// and the zigzag path of index j is relabeled so its endpoints land exactly
+// on that entry/exit pair.
+func (d *Dragonfly) ringsZigzag(k int) ([]*Ring, error) {
+	m := d.A / 2
+	if k > m {
+		return nil, fmt.Errorf("topology: zigzag decomposition yields at most %d rings", m)
+	}
+	rings := make([]*Ring, 0, k)
+	for j := 0; j < k; j++ {
+		// Pick an offset whose exit router is j and which is coprime with G.
+		off := -1
+		for r := 0; r < d.H; r++ {
+			cand := j*d.H + 1 + r
+			if cand < d.G && gcd(cand, d.G) == 1 {
+				off = cand
+				break
+			}
+		}
+		if off < 0 {
+			return nil, fmt.Errorf("topology: no coprime stitch offset with exit router %d (G=%d)", j, d.G)
+		}
+		x := j           // exit router (owns link off-1)
+		e := d.A - 1 - j // entry router (peer of link G-1-off)
+		path := zigzagPath(d.A, j)
+		for i, v := range path { // relabel σ: endpoints (j, j+m) → (j, a−1−j)
+			if v >= m {
+				path[i] = d.A - 1 - v + m
+			}
+		}
+		// zigzag ends at j+m → σ → a−1−j = e; orient the path e → x.
+		for lo, hi := 0, len(path)-1; lo < hi; lo, hi = lo+1, hi-1 {
+			path[lo], path[hi] = path[hi], path[lo]
+		}
+		if path[0] != e || path[len(path)-1] != x {
+			return nil, fmt.Errorf("internal: zigzag ring %d endpoints %d..%d, want %d..%d",
+				j, path[0], path[len(path)-1], e, x)
+		}
+		order := make([]int, 0, d.Routers)
+		g := 0
+		for i := 0; i < d.G; i++ {
+			for _, rl := range path {
+				order = append(order, d.RouterAt(g, rl))
+			}
+			g = (g + off) % d.G
+		}
+		rings = append(rings, d.ringFromOrder(order, off))
+	}
+	return rings, nil
+}
+
+// zigzagPath returns the j-th path of the standard Hamiltonian-path
+// decomposition of K_a (a even): j, j+1, j−1, j+2, j−2, …, j+a/2 (mod a).
+func zigzagPath(a, j int) []int {
+	path := make([]int, a)
+	path[0] = j
+	for i := 1; i < a; i++ {
+		if i%2 == 1 {
+			path[i] = (j + (i+1)/2) % a
+		} else {
+			path[i] = (j - i/2 + a) % a
+		}
+	}
+	return path
+}
+
+// singleGroupRings handles the degenerate one-group network, where rings are
+// Hamiltonian cycles of the complete local graph.
+func (d *Dragonfly) singleGroupRings(k int) ([]*Ring, error) {
+	if d.A < 3 {
+		return nil, fmt.Errorf("%w: single group with a=%d", ErrTooSmall, d.A)
+	}
+	forbidden := []map[int]bool{make(map[int]bool)}
+	rings := make([]*Ring, 0, k)
+	for j := 0; j < k; j++ {
+		// Find a Hamiltonian cycle 0 -> ... -> 0 avoiding used edges.
+		path, ok := hamPathAvoid(d.A, 0, -1, forbidden[0], true)
+		if !ok {
+			return nil, fmt.Errorf("topology: only %d edge-disjoint single-group rings exist", j)
+		}
+		rg := d.ringFromOrder(path, 1)
+		markEdges(forbidden[0], path, d.A, true)
+		rings = append(rings, rg)
+	}
+	return rings, nil
+}
+
+// assembleRing builds one ring with the given group offset, per-group entry
+// and exit local indices, and forbidden local edge sets (updated on success).
+func (d *Dragonfly) assembleRing(off, e, x int, forbidden []map[int]bool) (*Ring, error) {
+	order := make([]int, 0, d.Routers)
+	type groupPath struct {
+		g    int
+		path []int
+	}
+	paths := make([]groupPath, 0, d.G)
+	g := 0
+	for i := 0; i < d.G; i++ {
+		start, end := e, x
+		if i == 0 {
+			// The first group is "entered" from the last group's stitch,
+			// which also lands on e; using e uniformly keeps the cycle closed.
+			start = e
+		}
+		var path []int
+		var ok bool
+		if d.A == 1 {
+			path, ok = []int{0}, true
+		} else {
+			path, ok = hamPathAvoid(d.A, start, end, forbidden[g], false)
+		}
+		if !ok {
+			return nil, fmt.Errorf("no Hamiltonian path %d→%d avoiding used edges in group %d", start, end, g)
+		}
+		paths = append(paths, groupPath{g: g, path: path})
+		for _, rl := range path {
+			order = append(order, d.RouterAt(g, rl))
+		}
+		g = (g + off) % d.G
+	}
+	if g != 0 {
+		return nil, fmt.Errorf("internal: group walk did not close (ended at %d)", g)
+	}
+	rg := d.ringFromOrder(order, off)
+	for _, gp := range paths {
+		markEdges(forbidden[gp.g], gp.path, d.A, false)
+	}
+	return rg, nil
+}
+
+// ringFromOrder finalizes the ring: successor map, positions, embedded ports
+// and edge kinds.
+func (d *Dragonfly) ringFromOrder(order []int, off int) *Ring {
+	rg := &Ring{
+		Order:  order,
+		Offset: off,
+		next:   make([]int32, d.Routers),
+		pos:    make([]int32, d.Routers),
+		port:   make([]int32, d.Routers),
+		glob:   make([]bool, d.Routers),
+	}
+	n := len(order)
+	for i, r := range order {
+		nxt := order[(i+1)%n]
+		rg.next[r] = int32(nxt)
+		rg.pos[r] = int32(i)
+		if d.GroupOf(r) == d.GroupOf(nxt) {
+			rg.port[r] = int32(d.LocalPortTo(r, nxt))
+			rg.glob[r] = false
+		} else {
+			_, port := d.GlobalEntry(d.GroupOf(r), d.GroupOf(nxt))
+			rg.port[r] = int32(port)
+			rg.glob[r] = true
+		}
+	}
+	return rg
+}
+
+// markEdges records the undirected local edges of a within-group path (or
+// cycle) as used.
+func markEdges(set map[int]bool, path []int, a int, cycle bool) {
+	for i := 0; i+1 < len(path); i++ {
+		set[edgeKey(path[i], path[i+1], a)] = true
+	}
+	if cycle && len(path) > 2 {
+		set[edgeKey(path[len(path)-1], path[0], a)] = true
+	}
+}
+
+func edgeKey(u, v, a int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*a + v
+}
+
+// hamPathAvoid searches for a Hamiltonian path on the complete graph K_a
+// from s to t (t == -1 leaves the endpoint free; cycle == true additionally
+// requires the last vertex to connect back to s) avoiding forbidden edges.
+// Backtracking is fine here: a ≤ 2h is small and rings are built once.
+func hamPathAvoid(a, s, t int, forbidden map[int]bool, cycle bool) ([]int, bool) {
+	path := make([]int, 0, a)
+	used := make([]bool, a)
+	path = append(path, s)
+	used[s] = true
+	var rec func() bool
+	rec = func() bool {
+		if len(path) == a {
+			last := path[len(path)-1]
+			if t >= 0 && last != t {
+				return false
+			}
+			if cycle && forbidden[edgeKey(last, s, a)] {
+				return false
+			}
+			return true
+		}
+		cur := path[len(path)-1]
+		for v := 0; v < a; v++ {
+			if used[v] || forbidden[edgeKey(cur, v, a)] {
+				continue
+			}
+			// Prune: reserve t for the final slot.
+			if t >= 0 && v == t && len(path) != a-1 {
+				continue
+			}
+			used[v] = true
+			path = append(path, v)
+			if rec() {
+				return true
+			}
+			path = path[:len(path)-1]
+			used[v] = false
+		}
+		return false
+	}
+	if rec() {
+		return path, true
+	}
+	return nil, false
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"testing"
+)
+
+// checkRing validates the structural invariants of a Hamiltonian ring:
+// every router exactly once, every edge realizable (local link within a
+// group or the correct global link between groups), and Next/Pos coherent.
+func checkRing(t *testing.T, d *Dragonfly, rg *Ring) {
+	t.Helper()
+	if len(rg.Order) != d.Routers {
+		t.Fatalf("ring length %d, want %d", len(rg.Order), d.Routers)
+	}
+	seen := make([]bool, d.Routers)
+	for _, r := range rg.Order {
+		if seen[r] {
+			t.Fatalf("router %d appears twice", r)
+		}
+		seen[r] = true
+	}
+	for i, r := range rg.Order {
+		nxt := rg.Order[(i+1)%len(rg.Order)]
+		if rg.Next(r) != nxt {
+			t.Fatalf("Next(%d)=%d want %d", r, rg.Next(r), nxt)
+		}
+		if rg.Pos(r) != i {
+			t.Fatalf("Pos(%d)=%d want %d", r, rg.Pos(r), i)
+		}
+		port := rg.EmbeddedPort(r)
+		kind, peer, _ := d.Peer(r, port)
+		if peer != nxt {
+			t.Fatalf("embedded port of %d leads to %d, want %d", r, peer, nxt)
+		}
+		sameGroup := d.GroupOf(r) == d.GroupOf(nxt)
+		if sameGroup && (kind != PortLocal || rg.EdgeIsGlobal(r)) {
+			t.Fatalf("intra-group ring edge %d->%d misclassified", r, nxt)
+		}
+		if !sameGroup && (kind != PortGlobal || !rg.EdgeIsGlobal(r)) {
+			t.Fatalf("inter-group ring edge %d->%d misclassified", r, nxt)
+		}
+	}
+}
+
+func TestHamiltonianRingBalanced(t *testing.T) {
+	for _, h := range []int{2, 3, 4, 6} {
+		d, err := NewBalanced(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := d.HamiltonianRing()
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		checkRing(t, d, rg)
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	d, _ := NewBalanced(2)
+	rg, err := d.HamiltonianRing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Routers
+	a, b := rg.Order[0], rg.Order[5]
+	if got := rg.DistanceOnRing(a, b); got != 5 {
+		t.Errorf("distance=%d want 5", got)
+	}
+	if got := rg.DistanceOnRing(b, a); got != n-5 {
+		t.Errorf("reverse distance=%d want %d", got, n-5)
+	}
+	if got := rg.DistanceOnRing(a, a); got != 0 {
+		t.Errorf("self distance=%d", got)
+	}
+}
+
+// TestMultiRingEdgeDisjoint checks the §VII extension: k rings share no
+// directed link (local or global).
+func TestMultiRingEdgeDisjoint(t *testing.T) {
+	for _, tc := range []struct{ h, k int }{{2, 2}, {3, 2}, {3, 3}, {6, 3}} {
+		d, err := NewBalanced(tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings, err := d.HamiltonianRings(tc.k)
+		if err != nil {
+			t.Fatalf("h=%d k=%d: %v", tc.h, tc.k, err)
+		}
+		if len(rings) != tc.k {
+			t.Fatalf("h=%d: got %d rings", tc.h, len(rings))
+		}
+		type edge struct{ r, port int }
+		used := make(map[edge]int)
+		for j, rg := range rings {
+			checkRing(t, d, rg)
+			for _, r := range rg.Order {
+				e := edge{r, rg.EmbeddedPort(r)}
+				if prev, ok := used[e]; ok {
+					t.Fatalf("h=%d: rings %d and %d share edge %v", tc.h, prev, j, e)
+				}
+				used[e] = j
+			}
+		}
+	}
+}
+
+func TestMultiRingTooMany(t *testing.T) {
+	d, _ := NewBalanced(2)
+	if _, err := d.HamiltonianRings(d.H + 1); err == nil {
+		t.Error("expected error for k > h")
+	}
+	if _, err := d.HamiltonianRings(0); err == nil {
+		t.Error("expected error for k = 0")
+	}
+}
+
+func TestSingleGroupRing(t *testing.T) {
+	d := mustDF(t, 2, 4, 2, 1)
+	rg, err := d.HamiltonianRing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRing(t, d, rg)
+	for _, r := range rg.Order {
+		if rg.EdgeIsGlobal(r) {
+			t.Fatalf("single-group ring has global edge at %d", r)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"fmt"
+
+	"ofar/internal/simcore"
+	"ofar/internal/topology"
+)
+
+// This file models the application-style communication the paper's
+// motivation leans on (§I, §III, citing Bhatele et al., SC 2011): HPC codes
+// with near-neighbor exchanges whose tasks are laid out consecutively
+// ("DEF" mapping) produce heavily skewed local-link load in a dragonfly;
+// randomizing the task mapping removes the skew at the cost of locality.
+// The paper argues the fix belongs in the network (OFAR) rather than in the
+// mapping; these patterns let the repository demonstrate both sides.
+
+// Mapping selects how application tasks are placed on nodes.
+type Mapping int
+
+const (
+	// MapLinear places task i on node i (the default/DEF mapping that
+	// preserves locality and creates the §III hotspots).
+	MapLinear Mapping = iota
+	// MapRandom places tasks via a seeded random permutation (Bhatele's
+	// RDN-style randomization).
+	MapRandom
+)
+
+func (m Mapping) String() string {
+	if m == MapRandom {
+		return "random"
+	}
+	return "linear"
+}
+
+// Stencil3D is a 3-dimensional halo-exchange workload: tasks form an
+// X×Y×Z torus and every packet goes to one of the task's six neighbors,
+// chosen uniformly. Nodes without a task (when X·Y·Z < nodes) fall back to
+// uniform traffic so the offered load stays comparable across mappings.
+type Stencil3D struct {
+	d       *topology.Dragonfly
+	dims    [3]int
+	mapping Mapping
+	nodeOf  []int32 // task -> node
+	taskOf  []int32 // node -> task (-1: no task)
+	uniform *Uniform
+}
+
+// NewStencil3D builds the workload. X·Y·Z must not exceed the node count.
+// The permutation for MapRandom derives from seed, so runs stay
+// deterministic.
+func NewStencil3D(d *topology.Dragonfly, x, y, z int, mapping Mapping, seed uint64) (*Stencil3D, error) {
+	tasks := x * y * z
+	if x < 1 || y < 1 || z < 1 {
+		return nil, fmt.Errorf("traffic: stencil dims must be positive (%d×%d×%d)", x, y, z)
+	}
+	if tasks > d.Nodes {
+		return nil, fmt.Errorf("traffic: %d stencil tasks exceed %d nodes", tasks, d.Nodes)
+	}
+	s := &Stencil3D{
+		d:       d,
+		dims:    [3]int{x, y, z},
+		mapping: mapping,
+		nodeOf:  make([]int32, tasks),
+		taskOf:  make([]int32, d.Nodes),
+		uniform: NewUniform(d),
+	}
+	for n := range s.taskOf {
+		s.taskOf[n] = -1
+	}
+	perm := make([]int32, d.Nodes)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if mapping == MapRandom {
+		rng := simcore.NewRNG(seed ^ 0x57e4c11)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	for t := 0; t < tasks; t++ {
+		s.nodeOf[t] = perm[t]
+		s.taskOf[perm[t]] = int32(t)
+	}
+	return s, nil
+}
+
+// Name implements Pattern.
+func (s *Stencil3D) Name() string {
+	return fmt.Sprintf("STENCIL%dx%dx%d/%s", s.dims[0], s.dims[1], s.dims[2], s.mapping)
+}
+
+// Dest implements Pattern: a random face neighbor on the task torus.
+func (s *Stencil3D) Dest(rng *simcore.RNG, src int) int {
+	task := int(s.taskOf[src])
+	if task < 0 {
+		return s.uniform.Dest(rng, src)
+	}
+	x, y, z := s.dims[0], s.dims[1], s.dims[2]
+	tx := task % x
+	ty := (task / x) % y
+	tz := task / (x * y)
+	switch rng.Intn(6) {
+	case 0:
+		tx = (tx + 1) % x
+	case 1:
+		tx = (tx - 1 + x) % x
+	case 2:
+		ty = (ty + 1) % y
+	case 3:
+		ty = (ty - 1 + y) % y
+	case 4:
+		tz = (tz + 1) % z
+	default:
+		tz = (tz - 1 + z) % z
+	}
+	dst := int(s.nodeOf[tx+ty*x+tz*x*y])
+	if dst == src { // degenerate dimension (size 1): wraparound hits self
+		return s.uniform.Dest(rng, src)
+	}
+	return dst
+}
+
+// Permutation is a fixed random bijection without fixed points: every node
+// always sends to the same partner. A classic adversarial-ish pattern that
+// concentrates each flow on a single path.
+type Permutation struct {
+	d    *topology.Dragonfly
+	dst  []int32
+	seed uint64
+}
+
+// NewPermutation builds a derangement of the nodes from seed.
+func NewPermutation(d *topology.Dragonfly, seed uint64) *Permutation {
+	p := &Permutation{d: d, dst: make([]int32, d.Nodes), seed: seed}
+	rng := simcore.NewRNG(seed ^ 0x9e11a7)
+	perm := make([]int32, d.Nodes)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// Remove fixed points by swapping with a cyclic neighbor.
+	for i, v := range perm {
+		if int(v) == i {
+			j := (i + 1) % len(perm)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	copy(p.dst, perm)
+	return p
+}
+
+// Name implements Pattern.
+func (p *Permutation) Name() string { return fmt.Sprintf("PERM(%d)", p.seed) }
+
+// Dest implements Pattern.
+func (p *Permutation) Dest(_ *simcore.RNG, src int) int { return int(p.dst[src]) }

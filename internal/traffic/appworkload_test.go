@@ -1,0 +1,161 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"ofar/internal/simcore"
+)
+
+func TestStencilValidation(t *testing.T) {
+	d := topo(t)
+	if _, err := NewStencil3D(d, 100, 100, 100, MapLinear, 1); err == nil {
+		t.Error("oversized stencil accepted")
+	}
+	if _, err := NewStencil3D(d, 0, 2, 2, MapLinear, 1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestStencilNeighborsOnly(t *testing.T) {
+	d := topo(t) // 72 nodes
+	s, err := NewStencil3D(d, 4, 3, 2, MapLinear, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simcore.NewRNG(2)
+	// With linear mapping, task t sits on node t: verify destinations are
+	// torus neighbors of the source task.
+	for src := 0; src < 24; src++ {
+		for i := 0; i < 30; i++ {
+			dst := s.Dest(rng, src)
+			if dst == src {
+				t.Fatalf("self destination from %d", src)
+			}
+			if dst >= 24 {
+				t.Fatalf("dst %d outside the task set", dst)
+			}
+			sx, sy, sz := src%4, (src/4)%3, src/12
+			dx, dy, dz := dst%4, (dst/4)%3, dst/12
+			diff := 0
+			if sx != dx {
+				diff++
+				if (sx+1)%4 != dx && (sx-1+4)%4 != dx {
+					t.Fatalf("%d -> %d not an x neighbor", src, dst)
+				}
+			}
+			if sy != dy {
+				diff++
+				if (sy+1)%3 != dy && (sy-1+3)%3 != dy {
+					t.Fatalf("%d -> %d not a y neighbor", src, dst)
+				}
+			}
+			if sz != dz {
+				diff++
+				if (sz+1)%2 != dz && (sz-1+2)%2 != dz {
+					t.Fatalf("%d -> %d not a z neighbor", src, dst)
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("%d -> %d differs in %d axes", src, dst, diff)
+			}
+		}
+	}
+	// Nodes without a task fall back to uniform.
+	if dst := s.Dest(rng, 70); dst == 70 {
+		t.Error("taskless node sent to itself")
+	}
+}
+
+// TestStencilMappingLocality: the §III argument — linear mapping keeps most
+// neighbor traffic inside the source group, random mapping spreads it out.
+func TestStencilMappingLocality(t *testing.T) {
+	d := topo(t)
+	rng := simcore.NewRNG(3)
+	intraFrac := func(m Mapping) float64 {
+		s, err := NewStencil3D(d, 6, 4, 3, m, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra, total := 0, 0
+		for src := 0; src < d.Nodes; src++ {
+			if s.taskOf[src] < 0 {
+				continue
+			}
+			for i := 0; i < 20; i++ {
+				dst := s.Dest(rng, src)
+				if d.GroupOfNode(dst) == d.GroupOfNode(src) {
+					intra++
+				}
+				total++
+			}
+		}
+		return float64(intra) / float64(total)
+	}
+	lin := intraFrac(MapLinear)
+	rnd := intraFrac(MapRandom)
+	t.Logf("intra-group fraction: linear %.2f, random %.2f", lin, rnd)
+	if lin < 2*rnd {
+		t.Errorf("linear mapping locality %.2f not clearly above random %.2f", lin, rnd)
+	}
+}
+
+func TestPermutationDerangement(t *testing.T) {
+	d := topo(t)
+	p := NewPermutation(d, 5)
+	seen := make([]bool, d.Nodes)
+	rng := simcore.NewRNG(1)
+	for src := 0; src < d.Nodes; src++ {
+		dst := p.Dest(rng, src)
+		if dst == src {
+			t.Fatalf("fixed point at %d", src)
+		}
+		if seen[dst] {
+			t.Fatalf("node %d targeted twice (not a bijection)", dst)
+		}
+		seen[dst] = true
+		// Deterministic: the same source always maps to the same partner.
+		if again := p.Dest(rng, src); again != dst {
+			t.Fatal("permutation not fixed")
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	d := topo(t)
+	a, b := NewPermutation(d, 1), NewPermutation(d, 2)
+	rng := simcore.NewRNG(1)
+	same := 0
+	for src := 0; src < d.Nodes; src++ {
+		if a.Dest(rng, src) == b.Dest(rng, src) {
+			same++
+		}
+	}
+	if float64(same) > 0.2*float64(d.Nodes) {
+		t.Errorf("permutations from different seeds agree on %d/%d nodes", same, d.Nodes)
+	}
+}
+
+func TestStencilMeanDestDistance(t *testing.T) {
+	// Sanity: with random mapping the average minimal hop distance grows.
+	d := topo(t)
+	rng := simcore.NewRNG(9)
+	mean := func(m Mapping) float64 {
+		s, _ := NewStencil3D(d, 6, 4, 3, m, 3)
+		sum, n := 0.0, 0
+		for src := 0; src < 72; src++ {
+			if s.taskOf[src] < 0 {
+				continue
+			}
+			for i := 0; i < 10; i++ {
+				sum += float64(d.MinimalHops(src, s.Dest(rng, src)))
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	lin, rnd := mean(MapLinear), mean(MapRandom)
+	if !(lin < rnd) || math.IsNaN(lin) {
+		t.Errorf("linear mapping mean distance %.2f not below random %.2f", lin, rnd)
+	}
+}

@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ofar/internal/simcore"
+	"ofar/internal/topology"
+)
+
+// Classic synthetic permutation patterns from the interconnection-network
+// literature (Dally & Towles; used by BookSim-class simulators). They are
+// defined on the node-index bit string of the largest power-of-two subset
+// of the network; nodes outside that subset (dragonfly sizes are rarely
+// powers of two) fall back to uniform traffic so offered load stays
+// comparable. When a transform maps a node to itself the pattern also
+// falls back to uniform for that packet.
+
+// bitPattern is the shared machinery: a bijection on [0, 2^k).
+type bitPattern struct {
+	d       *topology.Dragonfly
+	name    string
+	k       uint // log2 of the covered node subset
+	mask    int
+	xform   func(v, k int) int
+	uniform *Uniform
+}
+
+func newBitPattern(d *topology.Dragonfly, name string, xform func(v, k int) int) *bitPattern {
+	k := uint(bits.Len(uint(d.Nodes))) - 1 // largest power of two ≤ nodes
+	return &bitPattern{
+		d: d, name: name, k: k, mask: (1 << k) - 1,
+		xform: xform, uniform: NewUniform(d),
+	}
+}
+
+// Name implements Pattern.
+func (b *bitPattern) Name() string { return b.name }
+
+// Dest implements Pattern.
+func (b *bitPattern) Dest(rng *simcore.RNG, src int) int {
+	if src > b.mask {
+		return b.uniform.Dest(rng, src)
+	}
+	dst := b.xform(src, int(b.k))
+	if dst == src || dst > b.mask || dst >= b.d.Nodes {
+		return b.uniform.Dest(rng, src)
+	}
+	return dst
+}
+
+// NewBitComplement sends node b_{k-1}…b_0 to its bitwise complement.
+func NewBitComplement(d *topology.Dragonfly) Pattern {
+	return newBitPattern(d, "BITCOMP", func(v, k int) int {
+		return ^v & ((1 << k) - 1)
+	})
+}
+
+// NewBitReverse sends node b_{k-1}…b_0 to b_0…b_{k-1}.
+func NewBitReverse(d *topology.Dragonfly) Pattern {
+	return newBitPattern(d, "BITREV", func(v, k int) int {
+		r := 0
+		for i := 0; i < k; i++ {
+			r = (r << 1) | ((v >> i) & 1)
+		}
+		return r
+	})
+}
+
+// NewShuffle sends node b_{k-1}…b_0 to b_{k-2}…b_0 b_{k-1} (perfect
+// shuffle / left rotate).
+func NewShuffle(d *topology.Dragonfly) Pattern {
+	return newBitPattern(d, "SHUFFLE", func(v, k int) int {
+		return ((v << 1) | (v >> (k - 1))) & ((1 << k) - 1)
+	})
+}
+
+// NewTornado is the group-level tornado pattern: every group sends to the
+// group ⌈G/2⌉−1 positions away — the classic worst case for ring-like
+// arrangements, here equivalent to ADV with the near-half offset.
+func NewTornado(d *topology.Dragonfly) Pattern {
+	off := (d.G+1)/2 - 1
+	if off < 1 {
+		off = 1
+	}
+	a := NewAdv(d, off)
+	return &renamed{Pattern: a, name: fmt.Sprintf("TORNADO(+%d)", off)}
+}
+
+type renamed struct {
+	Pattern
+	name string
+}
+
+func (r *renamed) Name() string { return r.name }

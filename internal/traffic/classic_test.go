@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"ofar/internal/simcore"
+)
+
+func TestBitComplementInvolution(t *testing.T) {
+	d := topo(t) // 72 nodes -> 64-node power-of-two subset
+	p := NewBitComplement(d)
+	rng := simcore.NewRNG(1)
+	for src := 0; src < 64; src++ {
+		dst := p.Dest(rng, src)
+		if dst == src {
+			t.Fatalf("fixed point at %d", src)
+		}
+		if dst < 64 {
+			back := p.Dest(rng, dst)
+			if back != src {
+				t.Fatalf("complement not an involution: %d -> %d -> %d", src, dst, back)
+			}
+		}
+	}
+	// Nodes beyond the power-of-two subset fall back to uniform.
+	for i := 0; i < 10; i++ {
+		if dst := p.Dest(rng, 70); dst == 70 {
+			t.Fatal("fallback sent to self")
+		}
+	}
+}
+
+func TestBitReverseAndShuffle(t *testing.T) {
+	d := topo(t)
+	rng := simcore.NewRNG(2)
+	rev := NewBitReverse(d)
+	// 64-node subset: k=6. 0b000001 -> 0b100000 (1 -> 32).
+	if dst := rev.Dest(rng, 1); dst != 32 {
+		t.Errorf("bitrev(1)=%d want 32", dst)
+	}
+	if dst := rev.Dest(rng, 0b110000); dst != 0b000011 {
+		t.Errorf("bitrev(48)=%d want 3", dst)
+	}
+	sh := NewShuffle(d)
+	// shuffle(0b100001) = 0b000011.
+	if dst := sh.Dest(rng, 0b100001); dst != 0b000011 {
+		t.Errorf("shuffle(33)=%d want 3", dst)
+	}
+	if dst := sh.Dest(rng, 1); dst != 2 {
+		t.Errorf("shuffle(1)=%d want 2", dst)
+	}
+}
+
+func TestTornadoOffset(t *testing.T) {
+	d := topo(t) // G=9 -> offset 4
+	p := NewTornado(d)
+	if !strings.Contains(p.Name(), "+4") {
+		t.Errorf("tornado name %q", p.Name())
+	}
+	rng := simcore.NewRNG(3)
+	for src := 0; src < d.Nodes; src += 5 {
+		dst := p.Dest(rng, src)
+		want := (d.GroupOfNode(src) + 4) % d.G
+		if d.GroupOfNode(dst) != want {
+			t.Fatalf("tornado %d -> group %d want %d", src, d.GroupOfNode(dst), want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package traffic provides the synthetic traffic patterns and injection
+// processes of the paper's evaluation (§V): uniform random (UN),
+// adversarial (ADV+N), weighted mixes, Bernoulli steady-state sources,
+// fixed-size bursts, and transient pattern switches.
+package traffic
+
+import (
+	"fmt"
+
+	"ofar/internal/simcore"
+	"ofar/internal/topology"
+)
+
+// Pattern chooses the destination node for a packet generated at src.
+type Pattern interface {
+	Name() string
+	Dest(rng *simcore.RNG, src int) int
+}
+
+// Uniform selects any node except the source itself (the source group is
+// included, matching §V).
+type Uniform struct{ d *topology.Dragonfly }
+
+// NewUniform returns the UN pattern.
+func NewUniform(d *topology.Dragonfly) *Uniform { return &Uniform{d: d} }
+
+// Name implements Pattern.
+func (u *Uniform) Name() string { return "UN" }
+
+// Dest implements Pattern.
+func (u *Uniform) Dest(rng *simcore.RNG, src int) int {
+	dst := rng.Intn(u.d.Nodes - 1)
+	if dst >= src {
+		dst++
+	}
+	return dst
+}
+
+// Adv is the ADV+N pattern: every source in group i sends to a random node
+// of group i+N (mod G).
+type Adv struct {
+	d *topology.Dragonfly
+	n int
+}
+
+// NewAdv returns the ADV+n pattern.
+func NewAdv(d *topology.Dragonfly, n int) *Adv { return &Adv{d: d, n: n} }
+
+// Name implements Pattern.
+func (a *Adv) Name() string { return fmt.Sprintf("ADV+%d", a.n) }
+
+// Offset returns the group offset N.
+func (a *Adv) Offset() int { return a.n }
+
+// Dest implements Pattern.
+func (a *Adv) Dest(rng *simcore.RNG, src int) int {
+	g := (a.d.GroupOfNode(src) + a.n) % a.d.G
+	perGroup := a.d.P * a.d.A
+	return g*perGroup + rng.Intn(perGroup)
+}
+
+// Mix draws each packet's pattern from a weighted set, used for the burst
+// mixes MIX1/2/3 (§VI-C).
+type Mix struct {
+	name     string
+	patterns []Pattern
+	cum      []float64
+}
+
+// NewMix builds a weighted mixture; weights need not sum to 1.
+func NewMix(name string, patterns []Pattern, weights []float64) *Mix {
+	if len(patterns) == 0 || len(patterns) != len(weights) {
+		panic("traffic: mix needs matching patterns and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("traffic: negative mix weight")
+		}
+		total += w
+	}
+	m := &Mix{name: name, patterns: patterns, cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		m.cum[i] = acc
+	}
+	return m
+}
+
+// Name implements Pattern.
+func (m *Mix) Name() string { return m.name }
+
+// Dest implements Pattern.
+func (m *Mix) Dest(rng *simcore.RNG, src int) int {
+	x := rng.Float64()
+	for i, c := range m.cum {
+		if x < c {
+			return m.patterns[i].Dest(rng, src)
+		}
+	}
+	return m.patterns[len(m.patterns)-1].Dest(rng, src)
+}
+
+// Generator produces packets at the sources. Next is called once per node
+// per cycle; it returns the destination of a new packet or ok == false.
+// Accepted reports whether the network accepted the previous Next result —
+// burst generators must not lose packets to source-queue backpressure.
+type Generator interface {
+	Name() string
+	Next(rng *simcore.RNG, node int, now int64) (dst int, ok bool)
+	// Retract undoes the last Next for a node whose pending queue was full;
+	// only generators with a finite budget need to do anything.
+	Retract(node int)
+	// Done reports whether the generator has produced everything it ever
+	// will (always false for open-loop sources).
+	Done() bool
+}
+
+// Bernoulli is the steady-state source: each node independently generates a
+// packet with probability load/packetSize per cycle, so the offered load is
+// `load` phits/(node·cycle).
+type Bernoulli struct {
+	pattern Pattern
+	prob    float64
+}
+
+// NewBernoulli builds an open-loop source with the given offered load in
+// phits/(node·cycle) and packet size in phits.
+func NewBernoulli(pattern Pattern, load float64, packetSize int) *Bernoulli {
+	return &Bernoulli{pattern: pattern, prob: load / float64(packetSize)}
+}
+
+// Name implements Generator.
+func (b *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(%s)", b.pattern.Name()) }
+
+// Next implements Generator.
+func (b *Bernoulli) Next(rng *simcore.RNG, node int, _ int64) (int, bool) {
+	if !rng.Bernoulli(b.prob) {
+		return 0, false
+	}
+	return b.pattern.Dest(rng, node), true
+}
+
+// Retract implements Generator; open-loop sources drop the packet.
+func (b *Bernoulli) Retract(int) {}
+
+// Done implements Generator.
+func (b *Bernoulli) Done() bool { return false }
+
+// Transient switches patterns (and optionally load) at a given cycle,
+// reproducing the §VI-B transient experiments.
+type Transient struct {
+	before, after Pattern
+	switchAt      int64
+	prob          float64
+}
+
+// NewTransient builds a Bernoulli source whose pattern changes at switchAt.
+func NewTransient(before, after Pattern, switchAt int64, load float64, packetSize int) *Transient {
+	return &Transient{before: before, after: after, switchAt: switchAt, prob: load / float64(packetSize)}
+}
+
+// Name implements Generator.
+func (t *Transient) Name() string {
+	return fmt.Sprintf("transient(%s->%s@%d)", t.before.Name(), t.after.Name(), t.switchAt)
+}
+
+// Next implements Generator.
+func (t *Transient) Next(rng *simcore.RNG, node int, now int64) (int, bool) {
+	if !rng.Bernoulli(t.prob) {
+		return 0, false
+	}
+	p := t.before
+	if now >= t.switchAt {
+		p = t.after
+	}
+	return p.Dest(rng, node), true
+}
+
+// Retract implements Generator.
+func (t *Transient) Retract(int) {}
+
+// Done implements Generator.
+func (t *Transient) Done() bool { return false }
+
+// Burst gives every node a fixed budget of packets injected as fast as the
+// network accepts them (§VI-C: synchronized post-barrier communication).
+type Burst struct {
+	pattern Pattern
+	perNode int
+	sent    []int
+	total   int
+	emitted int
+}
+
+// NewBurst builds a burst source of perNode packets for each of nodes nodes.
+func NewBurst(pattern Pattern, perNode, nodes int) *Burst {
+	return &Burst{pattern: pattern, perNode: perNode, sent: make([]int, nodes), total: perNode * nodes}
+}
+
+// Name implements Generator.
+func (b *Burst) Name() string { return fmt.Sprintf("burst(%s,%d)", b.pattern.Name(), b.perNode) }
+
+// Next implements Generator.
+func (b *Burst) Next(rng *simcore.RNG, node int, _ int64) (int, bool) {
+	if b.sent[node] >= b.perNode {
+		return 0, false
+	}
+	b.sent[node]++
+	b.emitted++
+	return b.pattern.Dest(rng, node), true
+}
+
+// Retract implements Generator: the budget is restored so the packet is
+// regenerated on a later cycle.
+func (b *Burst) Retract(node int) {
+	b.sent[node]--
+	b.emitted--
+}
+
+// Done implements Generator.
+func (b *Burst) Done() bool { return b.emitted >= b.total }
+
+// Total returns the overall packet budget of the burst.
+func (b *Burst) Total() int { return b.total }

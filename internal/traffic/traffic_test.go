@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"ofar/internal/simcore"
+	"ofar/internal/topology"
+)
+
+func topo(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	d, err := topology.New(2, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestUniformExcludesSelf(t *testing.T) {
+	d := topo(t)
+	u := NewUniform(d)
+	rng := simcore.NewRNG(1)
+	counts := make([]int, d.Nodes)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		dst := u.Dest(rng, 10)
+		if dst == 10 {
+			t.Fatal("uniform picked the source")
+		}
+		if dst < 0 || dst >= d.Nodes {
+			t.Fatalf("dst out of range: %d", dst)
+		}
+		counts[dst]++
+	}
+	want := float64(draws) / float64(d.Nodes-1)
+	for n, c := range counts {
+		if n == 10 {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d drawn %d times, want ~%.0f", n, c, want)
+		}
+	}
+}
+
+func TestAdvTargetsOffsetGroup(t *testing.T) {
+	d := topo(t)
+	for _, off := range []int{1, 2, d.H, d.G - 1} {
+		a := NewAdv(d, off)
+		rng := simcore.NewRNG(3)
+		for src := 0; src < d.Nodes; src += 7 {
+			dst := a.Dest(rng, src)
+			wantG := (d.GroupOfNode(src) + off) % d.G
+			if d.GroupOfNode(dst) != wantG {
+				t.Fatalf("ADV+%d: src %d -> dst %d in group %d, want %d",
+					off, src, dst, d.GroupOfNode(dst), wantG)
+			}
+		}
+		if a.Offset() != off {
+			t.Errorf("offset getter: %d", a.Offset())
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	d := topo(t)
+	m := NewMix("MIXT",
+		[]Pattern{NewAdv(d, 1), NewAdv(d, 2)},
+		[]float64{3, 1})
+	rng := simcore.NewRNG(9)
+	src := 0
+	got := map[int]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		got[d.GroupOfNode(m.Dest(rng, src))]++
+	}
+	f1 := float64(got[1]) / draws
+	f2 := float64(got[2]) / draws
+	if math.Abs(f1-0.75) > 0.02 || math.Abs(f2-0.25) > 0.02 {
+		t.Errorf("mix fractions %.3f/%.3f, want 0.75/0.25", f1, f2)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	d := topo(t)
+	if !panics(func() { NewMix("x", nil, nil) }) {
+		t.Error("empty mix accepted")
+	}
+	if !panics(func() { NewMix("x", []Pattern{NewUniform(d)}, []float64{-1}) }) {
+		t.Error("negative weight accepted")
+	}
+	if !panics(func() { NewMix("x", []Pattern{NewUniform(d)}, []float64{1, 2}) }) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func panics(f func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	f()
+	return
+}
+
+func TestBernoulliRate(t *testing.T) {
+	d := topo(t)
+	g := NewBernoulli(NewUniform(d), 0.4, 8) // p = 0.05/cycle
+	rng := simcore.NewRNG(4)
+	hits := 0
+	const cycles = 100000
+	for i := 0; i < cycles; i++ {
+		if _, ok := g.Next(rng, 0, int64(i)); ok {
+			hits++
+		}
+	}
+	rate := float64(hits) / cycles
+	if math.Abs(rate-0.05) > 0.003 {
+		t.Errorf("generation rate %.4f, want 0.05", rate)
+	}
+	if g.Done() {
+		t.Error("open-loop generator claims done")
+	}
+}
+
+func TestTransientSwitches(t *testing.T) {
+	d := topo(t)
+	g := NewTransient(NewAdv(d, 1), NewAdv(d, 2), 1000, 8.0, 8) // always generates
+	rng := simcore.NewRNG(5)
+	src := 0
+	dst, ok := g.Next(rng, src, 999)
+	if !ok || d.GroupOfNode(dst) != 1 {
+		t.Errorf("before switch: group %d", d.GroupOfNode(dst))
+	}
+	dst, ok = g.Next(rng, src, 1000)
+	if !ok || d.GroupOfNode(dst) != 2 {
+		t.Errorf("after switch: group %d", d.GroupOfNode(dst))
+	}
+}
+
+func TestBurstBudgetAndRetract(t *testing.T) {
+	d := topo(t)
+	g := NewBurst(NewUniform(d), 3, d.Nodes)
+	rng := simcore.NewRNG(6)
+	if g.Total() != 3*d.Nodes {
+		t.Fatalf("total=%d", g.Total())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := g.Next(rng, 0, 0); !ok {
+			t.Fatalf("budget exhausted early at %d", i)
+		}
+	}
+	if _, ok := g.Next(rng, 0, 0); ok {
+		t.Error("budget exceeded")
+	}
+	g.Retract(0)
+	if _, ok := g.Next(rng, 0, 0); !ok {
+		t.Error("retract did not restore budget")
+	}
+	if g.Done() {
+		t.Error("done with other nodes unsent")
+	}
+	for n := 1; n < d.Nodes; n++ {
+		for i := 0; i < 3; i++ {
+			g.Next(rng, n, 0)
+		}
+	}
+	if !g.Done() {
+		t.Error("not done after full budget")
+	}
+}

@@ -1,0 +1,287 @@
+package ofar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(6)
+	if cfg.P != 6 || cfg.A != 12 || cfg.H != 6 || cfg.Groups != 0 {
+		t.Errorf("topology params: %+v", cfg)
+	}
+	if cfg.PacketSize != 8 || cfg.LocalLatency != 10 || cfg.GlobalLatency != 100 {
+		t.Error("packet/latency params deviate from §V")
+	}
+	if cfg.LocalBuf != 32 || cfg.GlobalBuf != 256 {
+		t.Error("FIFO sizes deviate from §V")
+	}
+	if cfg.LocalVCs != 3 || cfg.GlobalVCs != 2 || cfg.InjVCs != 3 {
+		t.Error("VC counts deviate from §V")
+	}
+	if cfg.AllocIters != 3 {
+		t.Error("allocator iterations deviate from §V")
+	}
+	if cfg.OFAR.ThMin != 1.0 || cfg.OFAR.StaticNonMin != 0.4 {
+		t.Error("OFAR default should be the §IV-B static policy (see core.DefaultConfig)")
+	}
+	if v := DefaultOFARVariableConfig(); v.ThMin != 0 || v.NonMinFactor != 0.9 || v.StaticNonMin >= 0 {
+		t.Error("paper §V variable policy misconfigured")
+	}
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Topology()
+	if d.Nodes != 5256 || d.Routers != 876 || d.G != 73 {
+		t.Errorf("paper network size mismatch: %d nodes %d routers %d groups",
+			d.Nodes, d.Routers, d.G)
+	}
+}
+
+func TestPatternSpecs(t *testing.T) {
+	if Uniform().Name() != "UN" {
+		t.Error("uniform name")
+	}
+	if Adv(6).Name() != "ADV+6" {
+		t.Error("adv name")
+	}
+	mixes := PaperMixes(6)
+	if len(mixes) != 3 || mixes[0].Name() != "MIX1" || mixes[2].Name() != "MIX3" {
+		t.Error("paper mixes")
+	}
+}
+
+func TestSimulatorStepControl(t *testing.T) {
+	cfg := DefaultConfig(2)
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTraffic(Uniform(), 0.3)
+	s.Run(500)
+	if s.Now() != 500 {
+		t.Errorf("now=%d", s.Now())
+	}
+	s.Step()
+	if s.Now() != 501 {
+		t.Errorf("now=%d", s.Now())
+	}
+	if s.Stats().Generated == 0 {
+		t.Error("no traffic generated")
+	}
+	if s.Network() == nil {
+		t.Error("network accessor")
+	}
+}
+
+func TestRunSteadyBasic(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunSteady(cfg, Uniform(), 0.25, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pattern != "UN" || res.Routing != OFAR || res.Load != 0.25 {
+		t.Errorf("metadata: %+v", res)
+	}
+	// At 25% load the network accepts everything offered.
+	if math.Abs(res.Throughput-0.25) > 0.02 {
+		t.Errorf("throughput %.3f at load 0.25", res.Throughput)
+	}
+	// Zero-load latency is bounded below by the physical path: up to
+	// 2 local + 1 global traversal plus serialization.
+	if res.AvgLatency < 100 || res.AvgLatency > 400 {
+		t.Errorf("latency %.1f implausible", res.AvgLatency)
+	}
+	if res.Delivered == 0 || res.AvgHops < 1 {
+		t.Error("delivery stats empty")
+	}
+}
+
+func TestRunSteadyRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.PacketSize = 0
+	if _, err := RunSteady(cfg, Uniform(), 0.1, 10, 10); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRunLoadSweep(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Routing = MIN
+	cfg.Ring = RingNone
+	loads := []float64{0.1, 0.3}
+	rs, err := RunLoadSweep(cfg, Uniform(), loads, 500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results: %d", len(rs))
+	}
+	if rs[0].Throughput >= rs[1].Throughput {
+		t.Errorf("throughput not increasing below saturation: %.3f vs %.3f",
+			rs[0].Throughput, rs[1].Throughput)
+	}
+	if rs[0].AvgLatency > rs[1].AvgLatency {
+		t.Errorf("latency decreasing with load: %.1f vs %.1f",
+			rs[0].AvgLatency, rs[1].AvgLatency)
+	}
+}
+
+func TestRunTransientSeries(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunTransient(cfg, Uniform(), Adv(2), 0.14, 2000, 1500, 2000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From != "UN" || !strings.HasPrefix(res.To, "ADV") {
+		t.Errorf("metadata: %+v", res)
+	}
+	if len(res.Points) < 10 {
+		t.Fatalf("too few series points: %d", len(res.Points))
+	}
+	var pre, post float64
+	var nPre, nPost int
+	for _, p := range res.Points {
+		if p.Cycle < 0 {
+			pre += p.MeanLatency
+			nPre++
+		} else if p.Cycle > 500 {
+			post += p.MeanLatency
+			nPost++
+		}
+	}
+	if nPre == 0 || nPost == 0 {
+		t.Fatal("series does not straddle the switch")
+	}
+	// ADV traffic at equal load has higher latency than UN (longer paths).
+	if post/float64(nPost) < pre/float64(nPre) {
+		t.Errorf("post-switch latency %.1f below pre-switch %.1f",
+			post/float64(nPost), pre/float64(nPre))
+	}
+}
+
+func TestRunBurstDrains(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunBurst(cfg, PaperMixes(2)[0], 20, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatal("burst not consumed")
+	}
+	if res.Packets != int64(20*72) {
+		t.Errorf("packets=%d", res.Packets)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+func TestSaturationLoad(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Routing = MIN
+	cfg.Ring = RingNone
+	sat, err := SaturationLoad(cfg, Uniform(), 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 0.3 || sat > 1.0 {
+		t.Errorf("UN saturation %.3f out of plausible range", sat)
+	}
+}
+
+// TestParallelSweepMatchesSerial: parallel execution must be bit-identical
+// to the serial sweep (deterministic per-point RNG derivation).
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig(2)
+	loads := []float64{0.1, 0.2, 0.3}
+	serial, err := RunLoadSweep(cfg, Adv(2), loads, 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunLoadSweepParallel(cfg, Adv(2), loads, 500, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Delivered != parallel[i].Delivered ||
+			serial[i].AvgLatency != parallel[i].AvgLatency ||
+			serial[i].Throughput != parallel[i].Throughput {
+			t.Errorf("point %d differs: serial %+v vs parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestStencilPatternEndToEnd: application workload through the public API.
+func TestStencilPatternEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunSteady(cfg, Stencil3D(4, 3, 2, false), 0.2, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("stencil delivered nothing")
+	}
+	rnd, err := RunSteady(cfg, Stencil3D(4, 3, 2, true), 0.2, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random mapping lengthens paths: hops must rise.
+	if rnd.AvgHops <= res.AvgHops {
+		t.Errorf("random mapping hops %.2f not above linear %.2f", rnd.AvgHops, res.AvgHops)
+	}
+}
+
+// TestPermutationPatternEndToEnd: fixed-partner traffic delivers and stays
+// conserved.
+func TestPermutationPatternEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunSteady(cfg, Permutation(11), 0.3, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("permutation delivered nothing")
+	}
+}
+
+// TestRunReplicated: multi-seed aggregation has sane statistics.
+func TestRunReplicated(t *testing.T) {
+	cfg := DefaultConfig(2)
+	rep, err := RunReplicated(cfg, Uniform(), 0.2, 800, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 3 {
+		t.Errorf("runs=%d", rep.Runs)
+	}
+	if rep.Throughput.Mean < 0.17 || rep.Throughput.Mean > 0.22 {
+		t.Errorf("replicated throughput %.3f", rep.Throughput.Mean)
+	}
+	if rep.Throughput.Min > rep.Throughput.Max {
+		t.Error("min above max")
+	}
+	if rep.AvgLatency.StdDev < 0 {
+		t.Error("negative stddev")
+	}
+}
+
+// TestSteadyPercentiles: the histogram-backed percentiles are ordered.
+func TestSteadyPercentiles(t *testing.T) {
+	cfg := DefaultConfig(2)
+	res, err := RunSteady(cfg, Uniform(), 0.3, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50Latency <= res.P99Latency) {
+		t.Errorf("p50 %.1f > p99 %.1f", res.P50Latency, res.P99Latency)
+	}
+	if res.P99Latency > float64(res.MaxLatency)+1 {
+		t.Errorf("p99 %.1f above max %d", res.P99Latency, res.MaxLatency)
+	}
+	if res.P50Latency < 100 {
+		t.Errorf("p50 %.1f below the physical minimum", res.P50Latency)
+	}
+}
