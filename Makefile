@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet cover figures figures-h6 fuzz clean
+.PHONY: all build test test-short test-race bench vet cover figures figures-h6 fuzz clean
 
 all: build test
 
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the parallel router engine (and everything else).
+test-race:
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -short -cover ./...
@@ -35,6 +39,7 @@ figures-h6:
 fuzz:
 	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology
 	$(GO) test -fuzz FuzzParsePattern -fuzztime 20s .
+	$(GO) test -fuzz FuzzParallelConservation -fuzztime 30s .
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt

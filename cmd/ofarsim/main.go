@@ -32,6 +32,7 @@ func main() {
 		nonMin   = flag.Float64("nonmin-factor", 0.9, "OFAR variable threshold factor")
 		static   = flag.Float64("static-th", -1, "OFAR static non-minimal threshold (<0 = variable policy)")
 		escapeTO = flag.Int("escape-timeout", 32, "blocked cycles before requesting the escape ring")
+		workers  = flag.Int("workers", 0, "intra-cycle router-stage workers (0/1 = serial; results are bit-identical)")
 		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
 		confPath = flag.String("config", "", "load the full network config from a JSON file (overrides topology/router flags)")
 		dumpConf = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
@@ -65,12 +66,21 @@ func main() {
 		cfg.Ring = ofar.RingNone // VC-ordered mechanisms need no escape ring
 	}
 
+	cfg.Workers = *workers
+
 	if *confPath != "" {
 		loaded, err := ofar.LoadConfig(*confPath)
 		if err != nil {
 			fatal("%v", err)
 		}
 		cfg = loaded
+		// An explicit -workers flag overrides the file: the worker count
+		// changes wall-clock time only, never results.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				cfg.Workers = *workers
+			}
+		})
 	}
 	if *dumpConf {
 		data, err := ofar.ConfigToJSON(cfg)

@@ -94,14 +94,27 @@ func RunLoadSweep(cfg Config, ps PatternSpec, loads []float64, warmup, measure i
 // RunLoadSweepParallel runs the sweep points concurrently, one network per
 // point. Results are identical to RunLoadSweep: every point builds its own
 // network whose RNG streams derive only from cfg.Seed, so parallelism does
-// not perturb determinism. workers ≤ 0 uses GOMAXPROCS.
+// not perturb determinism — and neither does cfg.Workers, the intra-network
+// parallel router stage, which is bit-identical to the serial engine.
+//
+// The two levels compose: workers bounds the total CPU budget (≤ 0 uses
+// GOMAXPROCS), and each concurrently simulated network uses cfg.Workers
+// goroutines for its router stage, so the number of in-flight networks is
+// capped at workers / max(1, cfg.Workers) (always at least one).
 func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, measure, workers int) ([]SteadyResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	nets := workers
+	if cfg.Workers > 1 {
+		nets = workers / cfg.Workers
+		if nets < 1 {
+			nets = 1
+		}
+	}
 	out := make([]SteadyResult, len(loads))
 	errs := make([]error, len(loads))
-	sem := make(chan struct{}, workers)
+	sem := make(chan struct{}, nets)
 	var wg sync.WaitGroup
 	for i, l := range loads {
 		wg.Add(1)

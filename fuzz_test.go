@@ -1,6 +1,9 @@
 package ofar
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // Go-native fuzz targets. In regular `go test` runs they execute the seed
 // corpus; `go test -fuzz FuzzParsePattern` explores further.
@@ -25,6 +28,41 @@ func FuzzParsePattern(f *testing.F) {
 		p := ps.build(sim.Topology())
 		if p == nil || p.Name() == "" {
 			t.Fatalf("accepted pattern %q built %v", s, p)
+		}
+	})
+}
+
+// FuzzParallelConservation drives the two-phase parallel router engine on
+// the tiniest dragonfly (h=1: 6 routers, 6 nodes) with fuzzed seed, offered
+// load, traffic pattern and worker count, and asserts the one invariant
+// every run must keep regardless of inputs: no packet is created or
+// destroyed outside the generator/sink (and nothing panics or deadlocks the
+// cycle loop).
+func FuzzParallelConservation(f *testing.F) {
+	f.Add(uint64(1), 0.3, "UN", uint8(4))
+	f.Add(uint64(42), 0.95, "ADV+1", uint8(2))
+	f.Add(uint64(7), 0.1, "MIX1", uint8(9)) // > router count: clamped
+	f.Add(uint64(999), 1.0, "BITCOMP", uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, load float64, pattern string, workers uint8) {
+		if math.IsNaN(load) || load < 0 || load > 1 {
+			return
+		}
+		ps, err := ParsePattern(pattern, 1)
+		if err != nil {
+			return
+		}
+		cfg := DefaultConfig(1)
+		cfg.Seed = seed
+		cfg.Workers = 2 + int(workers%8) // always the parallel engine
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatalf("h=1 config failed to build: %v", err)
+		}
+		sim.SetTraffic(ps, load)
+		sim.Run(200)
+		if err := sim.Network().CheckConservation(); err != nil {
+			t.Fatalf("seed=%d load=%v pattern=%q workers=%d: %v",
+				seed, load, pattern, cfg.Workers, err)
 		}
 	})
 }

@@ -98,9 +98,9 @@ func VariablePolicyConfig() Config {
 	return cfg
 }
 
-// OFAR is the routing engine. One instance serves a whole network; the
-// simulator is single-threaded, so the scratch candidate buffer needs no
-// synchronization.
+// OFAR is the routing engine. One instance serves a whole network when the
+// cycle loop is serial; the parallel engine gives each worker its own clone
+// (CloneForWorker) because of the scratch candidate buffer.
 type OFAR struct {
 	cfg  Config
 	d    *topology.Dragonfly
@@ -124,6 +124,12 @@ func New(d *topology.Dragonfly, cfg Config) *OFAR {
 
 // Name implements router.Engine.
 func (e *OFAR) Name() string { return e.name }
+
+// CloneForWorker implements router.ConcurrentCloner: the candidate scratch
+// buffer is the engine's only mutable state and it is rebuilt on every Route
+// call, so a fresh instance with the same config and topology is
+// decision-for-decision identical to the original.
+func (e *OFAR) CloneForWorker() router.Engine { return New(e.d, e.cfg) }
 
 // AtInjection implements router.Engine. OFAR takes no decision at injection
 // time — that is the point of the mechanism.

@@ -84,6 +84,15 @@ type Config struct {
 	OFAR     core.Config
 	Adaptive routing.AdaptiveConfig
 
+	// Workers sets the intra-cycle parallelism of the router stage: the
+	// per-router compute phase (routing decisions + switch allocation) runs
+	// on this many goroutines, sharded by router index, while grants are
+	// still committed serially in router-index order. Because every
+	// stochastic draw comes from a per-router RNG stream, results are
+	// bit-identical to the serial engine for any worker count. 0 or 1 runs
+	// the classic serial loop; negative values are rejected.
+	Workers int
+
 	// Congestion is the optional injection-throttling congestion manager
 	// (§VII lists congestion management as ongoing work; Fig. 9 shows the
 	// collapse it prevents).
@@ -153,6 +162,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("network: allocator iterations must be ≥ 1")
 	case c.PendingCap < 1:
 		return fmt.Errorf("network: pending cap must be ≥ 1")
+	case c.Workers < 0:
+		return fmt.Errorf("network: worker count must be ≥ 0 (0 = serial)")
 	}
 	if c.Ring != RingNone {
 		if c.NumRings < 1 {

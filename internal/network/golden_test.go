@@ -1,0 +1,100 @@
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ofar/internal/traffic"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenDoc is the serialized form of a run's event stream: the first
+// goldenHead grant events verbatim, plus the FNV-1a digest and event count
+// covering the *entire* stream (every grant and every delivery of the first
+// goldenCycles cycles), so a refactor that changes any event anywhere —
+// not just in the head — breaks byte-equality.
+type goldenDoc struct {
+	Network string       `json:"network"`
+	Routing string       `json:"routing"`
+	Seed    uint64       `json:"seed"`
+	Load    float64      `json:"load"`
+	Cycles  int          `json:"cycles"`
+	Events  int64        `json:"events"`
+	Digest  string       `json:"digest"`
+	Head    []GrantEvent `json:"head"`
+}
+
+const (
+	goldenCycles = 2000
+	goldenHead   = 256
+)
+
+func goldenRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := DefaultConfig(3)
+	cfg.Seed = 12345
+	cfg.Workers = workers
+	n := mustNet(t, cfg)
+	load := 0.2
+	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
+	n.EnableGrantLog(goldenHead)
+	n.Run(goldenCycles)
+	digest, events := n.GrantDigest()
+	doc := goldenDoc{
+		Network: fmt.Sprintf("h=%d p=%d a=%d groups=%d", cfg.H, cfg.P, cfg.A, n.Topo.G),
+		Routing: string(cfg.Routing),
+		Seed:    cfg.Seed,
+		Load:    load,
+		Cycles:  goldenCycles,
+		Events:  events,
+		Digest:  fmt.Sprintf("%016x", digest),
+		Head:    n.GrantLog(),
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenTraceH3 is the golden-trace regression gate: the first 2000
+// cycles of grant/delivery events of a fixed-seed h=3 OFAR run, serialized
+// to testdata/golden_h3.json, must match byte for byte — for the serial
+// engine AND the parallel engine. It guards future refactors of the router
+// stage, the allocator, the RNG derivation order and the timing wheel, not
+// just the change that introduced it. Regenerate deliberately with
+// `go test ./internal/network -run TestGoldenTraceH3 -update-golden`.
+func TestGoldenTraceH3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace runs 2000 full-size h=3 cycles twice")
+	}
+	path := filepath.Join("testdata", "golden_h3.json")
+	serial := goldenRun(t, 0)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(serial))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("serial engine diverged from %s (len %d vs %d) — a behavioral change; "+
+			"if intended, regenerate with -update-golden", path, len(serial), len(want))
+	}
+	parallel := goldenRun(t, 4)
+	if !bytes.Equal(parallel, want) {
+		t.Errorf("parallel engine diverged from %s (len %d vs %d)", path, len(parallel), len(want))
+	}
+}

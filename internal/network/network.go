@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sync"
 
 	"ofar/internal/core"
 	"ofar/internal/packet"
@@ -51,6 +52,24 @@ type Network struct {
 
 	congestionOn bool
 	congestionTh float64
+
+	// Parallel router stage (Config.Workers > 1): per-worker engines (clones
+	// when the engine carries scratch state) and the per-router grant buffers
+	// the compute phase fills for the serial commit phase.
+	workers   int
+	workerEng []router.Engine
+	grantBuf  [][]router.Grant
+
+	// Grant digest (tests): FNV-1a fold of every committed grant and every
+	// delivery, for cheap bit-equivalence checks between engines.
+	digestOn    bool
+	digest      uint64
+	digestCount int64
+
+	// Grant log (tests): explicit record of committed grants, capped at
+	// logCap events.
+	grantLog []GrantEvent
+	logCap   int
 
 	// Path tracing (diagnostics/tests): when sampling is enabled, every
 	// N-th generated packet records its full hop sequence.
@@ -285,6 +304,23 @@ func New(cfg Config) (*Network, error) {
 			n.congestionTh = 0.7
 		}
 	}
+	n.workers = cfg.Workers
+	if n.workers > topo.Routers {
+		n.workers = topo.Routers
+	}
+	if n.workers > 1 {
+		n.grantBuf = make([][]router.Grant, topo.Routers)
+		n.workerEng = make([]router.Engine, n.workers)
+		n.workerEng[0] = n.Engine
+		for w := 1; w < n.workers; w++ {
+			if c, ok := n.Engine.(router.ConcurrentCloner); ok {
+				n.workerEng[w] = c.CloneForWorker()
+			} else {
+				// Stateless engines (all baselines) are shared.
+				n.workerEng[w] = n.Engine
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -299,7 +335,9 @@ func (n *Network) Now() int64 { return n.now }
 
 // Step advances the simulation one cycle: deliver due events, generate and
 // inject traffic, publish PB flags, then run routing and switch allocation
-// on every router.
+// on every router. With Config.Workers > 1 the router stage runs as two
+// phases — a parallel compute phase and a serial commit phase — with
+// bit-identical results (see cycleRouters).
 func (n *Network) Step() {
 	now := n.now
 	for _, ev := range n.wheel.Advance() {
@@ -313,13 +351,49 @@ func (n *Network) Step() {
 			r.UpdatePBFlags(now)
 		}
 	}
-	for _, r := range n.Routers {
-		grants := r.Cycle(n.Engine, now)
-		for i := range grants {
-			n.commit(r, &grants[i], now)
+	if n.workers > 1 {
+		n.cycleRouters(now)
+	} else {
+		for _, r := range n.Routers {
+			grants := r.Cycle(n.Engine, now)
+			for i := range grants {
+				n.commit(r, &grants[i], now)
+			}
 		}
 	}
 	n.now++
+}
+
+// cycleRouters is the parallel router stage. Compute phase: workers shard
+// the routers by index stride and run router.Cycle concurrently — legal
+// because Cycle reads and writes only router-local state (input buffers,
+// credit mirrors of its own output ports, arbiter memories, its private RNG
+// stream) plus the PB flag boards, which were fully published earlier in
+// this cycle and are read-only here. Commit phase: grants are applied
+// serially in router-index order — exactly the order the serial loop uses —
+// so timing-wheel insertion order, statistics and traces are preserved.
+// n.commit itself touches no router state read by Cycle, which is why
+// deferring all commits behind the barrier changes nothing.
+func (n *Network) cycleRouters(now int64) {
+	var wg sync.WaitGroup
+	for w := 0; w < n.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := n.workerEng[w]
+			for i := w; i < len(n.Routers); i += n.workers {
+				n.grantBuf[i] = n.Routers[i].Cycle(eng, now)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, r := range n.Routers {
+		grants := n.grantBuf[i]
+		n.grantBuf[i] = nil
+		for j := range grants {
+			n.commit(r, &grants[j], now)
+		}
+	}
 }
 
 // Run advances the simulation by the given number of cycles.
@@ -378,6 +452,69 @@ func (n *Network) EnableTracing(every int) {
 // Traces returns the recorded packet journeys (nil unless enabled).
 func (n *Network) Traces() map[packet.ID]*Trace { return n.traces }
 
+// GrantEvent is one committed crossbar transfer as recorded by the grant
+// log: the granting router, the input buffer, the output assignment and the
+// packet identity (source, destination, generation cycle — stable across
+// engines, unlike pool-recycled pointers).
+type GrantEvent struct {
+	Cycle  int64 `json:"t"`
+	Router int   `json:"r"`
+	InPort int   `json:"ip"`
+	InVC   int   `json:"iv"`
+	Out    int   `json:"o"`
+	VC     int   `json:"v"`
+	Src    int   `json:"s"`
+	Dst    int   `json:"d"`
+	Born   int64 `json:"b"`
+	Eject  bool  `json:"e,omitempty"`
+}
+
+// EnableGrantDigest folds every committed grant and every delivery into a
+// running FNV-1a digest. Comparing digests after each cycle proves two runs
+// produce identical grant sequences and packet latencies without storing
+// the streams (the equivalence and golden-trace tests rely on this).
+func (n *Network) EnableGrantDigest() {
+	n.digestOn = true
+	n.digest = fnvOffset
+}
+
+// GrantDigest returns the running digest and the number of events folded
+// into it (grants + deliveries).
+func (n *Network) GrantDigest() (uint64, int64) { return n.digest, n.digestCount }
+
+// EnableGrantLog records up to max committed grants verbatim (the digest
+// keeps covering everything beyond the cap). Intended for golden-trace
+// tests; logging allocates.
+func (n *Network) EnableGrantLog(max int) {
+	n.logCap = max
+	n.grantLog = make([]GrantEvent, 0, max)
+	if !n.digestOn {
+		n.EnableGrantDigest()
+	}
+}
+
+// GrantLog returns the recorded grant events.
+func (n *Network) GrantLog() []GrantEvent { return n.grantLog }
+
+// FNV-1a, 64 bit.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func (n *Network) fold(vs ...int64) {
+	h := n.digest
+	for _, v := range vs {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x & 0xff)) * fnvPrime
+			x >>= 8
+		}
+	}
+	n.digest = h
+	n.digestCount++
+}
+
 func (n *Network) handle(ev event, now int64) {
 	switch ev.kind {
 	case evArrive:
@@ -399,6 +536,11 @@ func (n *Network) handle(ev event, now int64) {
 		}
 		if ev.kind == evDrainDeliver {
 			p.Done = now
+			if n.digestOn {
+				// Folding (identity, latency) pins per-packet delivery
+				// times, not just the grant sequence.
+				n.fold(1, now, int64(p.Src), int64(p.Dst), p.Born, p.Injected)
+			}
 			n.Stats.OnDeliver(p.Born, p.Injected, now, p.TotalHops, p.RingHops)
 			n.pool.Put(p)
 		}
@@ -448,6 +590,17 @@ func (n *Network) generate(now int64) {
 
 func (n *Network) commit(r *router.Router, g *router.Grant, now int64) {
 	p := g.Pkt
+	if n.digestOn {
+		n.fold(0, now, int64(r.ID), int64(g.InPort), int64(g.InVC),
+			int64(g.Req.Out), int64(g.Req.VC), int64(p.Src), int64(p.Dst), p.Born)
+		if len(n.grantLog) < n.logCap {
+			n.grantLog = append(n.grantLog, GrantEvent{
+				Cycle: now, Router: r.ID, InPort: g.InPort, InVC: g.InVC,
+				Out: g.Req.Out, VC: g.Req.VC,
+				Src: p.Src, Dst: p.Dst, Born: p.Born, Eject: g.Eject,
+			})
+		}
+	}
 	if n.traceEvery > 0 {
 		if tr, ok := n.traces[p.ID]; ok {
 			tr.Hops = append(tr.Hops, TraceHop{

@@ -47,6 +47,17 @@ type Engine interface {
 	Route(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool)
 }
 
+// ConcurrentCloner is implemented by engines that keep per-call scratch
+// state (candidate buffers and the like) and therefore cannot be shared
+// between worker goroutines of the parallel network engine. CloneForWorker
+// returns an engine that behaves identically to the receiver — routing
+// decisions must not depend on which clone computes them, or parallel runs
+// would diverge from serial ones. Engines without mutable state need not
+// implement the interface; they are shared across workers as-is.
+type ConcurrentCloner interface {
+	CloneForWorker() Engine
+}
+
 // Grant reports one committed crossbar transfer of a cycle.
 type Grant struct {
 	InPort, InVC int
