@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet cover figures figures-h6 fuzz clean
+.PHONY: all build test test-short test-race bench bench-json vet cover figures figures-h6 fuzz clean
 
 all: build test
 
@@ -27,6 +27,14 @@ cover:
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# Machine-readable Step benchmarks (name, ns/op, allocs/op) across the load
+# range, scheduler on/off, serial and parallel — the activity scheduler's
+# tracked baseline. Compare against the committed BENCH_step.json.
+bench-json:
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep' -benchmem -benchtime 2s \
+		| $(GO) run ./cmd/benchjson > BENCH_step.json
+	@cat BENCH_step.json
 
 # Regenerate every paper figure at laptop scale (h=3) with SVG charts.
 figures:

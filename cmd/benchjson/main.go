@@ -1,0 +1,85 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// small JSON document on stdout, recording one entry per benchmark with its
+// name, ns/op and allocs/op. It exists so `make bench-json` can commit a
+// stable, diffable baseline (BENCH_step.json) instead of raw bench logs.
+//
+// Lines that are not benchmark result lines (the "goos:"/"pkg:" header, PASS,
+// ok, log output) are ignored, so the tool can consume the full stdout of a
+// bench run:
+//
+//	go test -bench StepByLoad -benchmem ./internal/network | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. NsPerOp and AllocsPerOp mirror the columns
+// testing.B reports; BytesPerOp rides along when -benchmem was set.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// parseLine decodes one "BenchmarkX-8  123  456 ns/op  7 B/op  8 allocs/op"
+// line, returning ok=false for anything that is not a benchmark result.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, seen
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

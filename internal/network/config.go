@@ -93,6 +93,13 @@ type Config struct {
 	// the classic serial loop; negative values are rejected.
 	Workers int
 
+	// DisableActivitySched turns off the active-set router scheduler and
+	// reverts Step to visiting every router every cycle. The scheduler skips
+	// only routers whose Cycle is provably a no-op (no routable buffer
+	// head), so results are bit-identical either way; this escape hatch
+	// exists for differential testing and benchmarking, not correctness.
+	DisableActivitySched bool
+
 	// Congestion is the optional injection-throttling congestion manager
 	// (§VII lists congestion management as ongoing work; Fig. 9 shows the
 	// collapse it prevents).

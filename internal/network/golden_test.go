@@ -35,13 +35,13 @@ const (
 	goldenHead   = 256
 )
 
-func goldenRun(t *testing.T, workers int) []byte {
+func goldenRun(t *testing.T, load float64, workers int, noSched bool) []byte {
 	t.Helper()
 	cfg := DefaultConfig(3)
 	cfg.Seed = 12345
 	cfg.Workers = workers
+	cfg.DisableActivitySched = noSched
 	n := mustNet(t, cfg)
-	load := 0.2
 	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
 	n.EnableGrantLog(goldenHead)
 	n.Run(goldenCycles)
@@ -63,38 +63,71 @@ func goldenRun(t *testing.T, workers int) []byte {
 	return append(data, '\n')
 }
 
-// TestGoldenTraceH3 is the golden-trace regression gate: the first 2000
-// cycles of grant/delivery events of a fixed-seed h=3 OFAR run, serialized
-// to testdata/golden_h3.json, must match byte for byte — for the serial
-// engine AND the parallel engine. It guards future refactors of the router
-// stage, the allocator, the RNG derivation order and the timing wheel, not
-// just the change that introduced it. Regenerate deliberately with
-// `go test ./internal/network -run TestGoldenTraceH3 -update-golden`.
-func TestGoldenTraceH3(t *testing.T) {
-	if testing.Short() {
-		t.Skip("golden trace runs 2000 full-size h=3 cycles twice")
-	}
-	path := filepath.Join("testdata", "golden_h3.json")
-	serial := goldenRun(t, 0)
+// checkGolden compares one engine variant's serialized run against the
+// golden file, rewriting the file first when -update-golden is set (only the
+// serial scheduler-on variant rewrites, so a divergence between variants
+// still fails).
+func checkGolden(t *testing.T, path string, load float64) {
+	t.Helper()
+	base := goldenRun(t, load, 0, false)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, serial, 0o644); err != nil {
+		if err := os.WriteFile(path, base, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d bytes)", path, len(serial))
+		t.Logf("rewrote %s (%d bytes)", path, len(base))
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
 	}
-	if !bytes.Equal(serial, want) {
-		t.Errorf("serial engine diverged from %s (len %d vs %d) — a behavioral change; "+
-			"if intended, regenerate with -update-golden", path, len(serial), len(want))
+	variants := []struct {
+		name    string
+		workers int
+		noSched bool
+	}{
+		{"serial", 0, false},
+		{"serial-nosched", 0, true},
+		{"workers4", 4, false},
+		{"workers4-nosched", 4, true},
 	}
-	parallel := goldenRun(t, 4)
-	if !bytes.Equal(parallel, want) {
-		t.Errorf("parallel engine diverged from %s (len %d vs %d)", path, len(parallel), len(want))
+	for _, v := range variants {
+		got := base
+		if v.workers != 0 || v.noSched {
+			got = goldenRun(t, load, v.workers, v.noSched)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+
+				"if intended, regenerate with -update-golden", v.name, path, len(got), len(want))
+		}
 	}
+}
+
+// TestGoldenTraceH3 is the golden-trace regression gate: the first 2000
+// cycles of grant/delivery events of a fixed-seed h=3 OFAR run, serialized
+// to testdata/golden_h3.json, must match byte for byte — for the serial
+// engine, the parallel engine, and both with the activity scheduler
+// disabled. It guards future refactors of the router stage, the allocator,
+// the scheduler's skip logic, the RNG derivation order and the timing
+// wheel, not just the change that introduced it. Regenerate deliberately
+// with `go test ./internal/network -run TestGoldenTrace -update-golden`.
+func TestGoldenTraceH3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_h3.json"), 0.2)
+}
+
+// TestGoldenTraceH3LowLoad pins the same contract in the regime the
+// activity scheduler was built for: at 5% load the overwhelming majority of
+// router-cycles are idle, so nearly every Step exercises the skip path, and
+// any router skipped when it still had observable work would shift grants
+// or deliveries and break byte-equality here.
+func TestGoldenTraceH3LowLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_h3_low.json"), 0.05)
 }

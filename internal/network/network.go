@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"ofar/internal/core"
@@ -59,6 +60,16 @@ type Network struct {
 	workers   int
 	workerEng []router.Engine
 	grantBuf  [][]router.Grant
+
+	// Active-set scheduler (on unless Config.DisableActivitySched): only
+	// routers that can possibly produce a grant or observable side effect
+	// run Cycle. A router is awake while it holds a routable buffer head;
+	// handle (arrivals, drain completions) and generate (injections) wake
+	// routers, and compactActive drops the ones whose work has drained.
+	schedOn bool
+	awake   []bool  // router is on the active list
+	active  []int32 // awake router ids (unsorted; sorted by compactActive)
+	allIdx  []int32 // 0..Routers-1, the legacy full iteration order
 
 	// Grant digest (tests): FNV-1a fold of every committed grant and every
 	// delivery, for cheap bit-equivalence checks between engines.
@@ -304,6 +315,12 @@ func New(cfg Config) (*Network, error) {
 			n.congestionTh = 0.7
 		}
 	}
+	n.schedOn = !cfg.DisableActivitySched
+	n.awake = make([]bool, topo.Routers)
+	n.allIdx = make([]int32, topo.Routers)
+	for r := range n.allIdx {
+		n.allIdx[r] = int32(r)
+	}
 	n.workers = cfg.Workers
 	if n.workers > topo.Routers {
 		n.workers = topo.Routers
@@ -335,8 +352,9 @@ func (n *Network) Now() int64 { return n.now }
 
 // Step advances the simulation one cycle: deliver due events, generate and
 // inject traffic, publish PB flags, then run routing and switch allocation
-// on every router. With Config.Workers > 1 the router stage runs as two
-// phases — a parallel compute phase and a serial commit phase — with
+// on the routers that can do work this cycle (all of them when the activity
+// scheduler is disabled). With Config.Workers > 1 the router stage runs as
+// two phases — a parallel compute phase and a serial commit phase — with
 // bit-identical results (see cycleRouters).
 func (n *Network) Step() {
 	now := n.now
@@ -347,49 +365,113 @@ func (n *Network) Step() {
 		n.generate(now)
 	}
 	if n.usePB {
-		for _, r := range n.Routers {
-			r.UpdatePBFlags(now)
-		}
+		n.publishPB(now)
 	}
-	if n.workers > 1 {
-		n.cycleRouters(now)
-	} else {
-		for _, r := range n.Routers {
-			grants := r.Cycle(n.Engine, now)
-			for i := range grants {
-				n.commit(r, &grants[i], now)
+	list := n.allIdx
+	if n.schedOn {
+		list = n.compactActive()
+	}
+	if len(list) > 0 {
+		if n.workers > 1 {
+			n.cycleRouters(list, now)
+		} else {
+			for _, i := range list {
+				r := n.Routers[i]
+				grants := r.Cycle(n.Engine, now)
+				for j := range grants {
+					n.commit(r, &grants[j], now)
+				}
 			}
 		}
 	}
 	n.now++
 }
 
-// cycleRouters is the parallel router stage. Compute phase: workers shard
-// the routers by index stride and run router.Cycle concurrently — legal
-// because Cycle reads and writes only router-local state (input buffers,
-// credit mirrors of its own output ports, arbiter memories, its private RNG
-// stream) plus the PB flag boards, which were fully published earlier in
-// this cycle and are read-only here. Commit phase: grants are applied
-// serially in router-index order — exactly the order the serial loop uses —
-// so timing-wheel insertion order, statistics and traces are preserved.
+// wake puts a router on the active list (idempotent). Callers are the three
+// places that can create routable work: handle (arrivals and drain
+// completions) and generate (injections). Waking conservatively is always
+// safe — an awake router with no routable head runs a no-op Cycle and is
+// dropped by the next compactActive — whereas a missed wake would silently
+// freeze the router's traffic, so every candidate event wakes its router.
+func (n *Network) wake(r int32) {
+	if !n.awake[r] {
+		n.awake[r] = true
+		n.active = append(n.active, r)
+	}
+}
+
+// compactActive drops routers with no routable buffer head from the active
+// list and returns the survivors sorted by router index — the same relative
+// order the legacy full loop visits them in, which keeps grant commit order,
+// timing-wheel insertion order and therefore every digest bit-identical.
+// Skipped routers contribute no grants, so removing them from the iteration
+// changes nothing else.
+func (n *Network) compactActive() []int32 {
+	keep := n.active[:0]
+	for _, id := range n.active {
+		if n.Routers[id].HasRoutableWork() {
+			keep = append(keep, id)
+		} else {
+			n.awake[id] = false
+		}
+	}
+	n.active = keep
+	slices.Sort(n.active)
+	return n.active
+}
+
+// publishPB refreshes the group flag boards. The boards store transitions,
+// so only routers whose global-port occupancy moved since their last publish
+// (PBDirty) need to recompute; the full sweep remains available for the
+// scheduler-disabled path and produces identical reader-visible flags.
+func (n *Network) publishPB(now int64) {
+	if n.schedOn {
+		for _, r := range n.Routers {
+			if r.PBDirty() {
+				r.UpdatePBFlags(now)
+			}
+		}
+		return
+	}
+	for _, r := range n.Routers {
+		r.UpdatePBFlags(now)
+	}
+}
+
+// cycleRouters is the parallel router stage over the given iteration list
+// (all routers, or the sorted active set). Compute phase: workers shard the
+// list by stride and run router.Cycle concurrently — legal because Cycle
+// reads and writes only router-local state (input buffers, credit mirrors of
+// its own output ports, arbiter memories, its private RNG stream) plus the
+// PB flag boards, which were fully published earlier in this cycle and are
+// read-only here. Commit phase: grants are applied serially in list order —
+// ascending router index, exactly the order the serial loop uses — so
+// timing-wheel insertion order, statistics and traces are preserved.
 // n.commit itself touches no router state read by Cycle, which is why
 // deferring all commits behind the barrier changes nothing.
-func (n *Network) cycleRouters(now int64) {
+//
+// grantBuf entries alias the per-router grant slices that Cycle itself
+// reuses across cycles; they are never cleared here, because the commit loop
+// reads only the entries of routers on this cycle's list, each freshly
+// written by the compute phase. (Clearing them every cycle, as an earlier
+// version did, only cost stores and defeated slice reuse.)
+func (n *Network) cycleRouters(list []int32, now int64) {
 	var wg sync.WaitGroup
 	for w := 0; w < n.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			eng := n.workerEng[w]
-			for i := w; i < len(n.Routers); i += n.workers {
+			for k := w; k < len(list); k += n.workers {
+				i := list[k]
 				n.grantBuf[i] = n.Routers[i].Cycle(eng, now)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for i, r := range n.Routers {
+	for _, i := range list {
+		r := n.Routers[i]
 		grants := n.grantBuf[i]
-		n.grantBuf[i] = nil
 		for j := range grants {
 			n.commit(r, &grants[j], now)
 		}
@@ -520,9 +602,19 @@ func (n *Network) handle(ev event, now int64) {
 	case evArrive:
 		n.inFlight--
 		n.Routers[ev.r].Arrive(int(ev.port), int(ev.vc), ev.pkt)
+		if n.schedOn {
+			n.wake(ev.r)
+		}
 	case evDrain, evDrainDeliver:
 		r := n.Routers[ev.r]
 		p, upR, upP := r.FinishDrain(int(ev.port), int(ev.vc))
+		if n.schedOn {
+			// The drain's end frees the input port and promotes any packet
+			// queued behind the drained head; credits (evCredit) need no
+			// wake because they cannot create a routable head on a router
+			// that has none.
+			n.wake(ev.r)
+		}
 		if ev.kind == evDrain {
 			// The packet has fully left this buffer and is now only on the
 			// link (its arrival event is pending); with link latencies ≥
@@ -581,6 +673,9 @@ func (n *Network) generate(now int64) {
 			if vc, ok := r.InjectionSpace(port, p.Size); ok {
 				pq.pop()
 				r.Inject(port, vc, p, now)
+				if n.schedOn {
+					n.wake(int32(r.ID))
+				}
 				n.Engine.AtInjection(r, p, now)
 				n.Stats.Injected++
 			}

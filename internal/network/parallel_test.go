@@ -24,29 +24,33 @@ func genFor(n *Network, kind string, load float64) traffic.Generator {
 	}
 }
 
-// stepCompare advances both networks cycle by cycle and requires their
-// grant digests to agree after every cycle — i.e. the two engines commit
-// identical grant sequences and identical deliveries at all times, not just
-// in aggregate.
-func stepCompare(t *testing.T, serial, parallel *Network, cycles int) {
+// stepCompare advances the reference network and every variant cycle by
+// cycle and requires all grant digests to agree after every cycle — i.e.
+// the engines commit identical grant sequences and identical deliveries at
+// all times, not just in aggregate.
+func stepCompare(t *testing.T, ref *Network, variants map[string]*Network, cycles int) {
 	t.Helper()
 	for c := 0; c < cycles; c++ {
-		serial.Step()
-		parallel.Step()
-		sd, sc := serial.GrantDigest()
-		pd, pc := parallel.GrantDigest()
-		if sd != pd || sc != pc {
-			t.Fatalf("cycle %d: digests diverge: serial %016x (%d events), parallel %016x (%d events)",
-				c, sd, sc, pd, pc)
+		ref.Step()
+		rd, rc := ref.GrantDigest()
+		for name, v := range variants {
+			v.Step()
+			vd, vc := v.GrantDigest()
+			if vd != rd || vc != rc {
+				t.Fatalf("cycle %d: digests diverge: reference %016x (%d events), %s %016x (%d events)",
+					c, rd, rc, name, vd, vc)
+			}
 		}
 	}
 }
 
 // TestParallelEngineMatchesSerial is the equivalence contract of the
-// two-phase router stage: for every traffic pattern and mechanism tried, a
-// Workers=4 run must be bit-identical to the serial run — same per-cycle
-// grant sequences, same per-packet latencies (both folded into the digest),
-// same statistics, and a conserved packet population on both sides.
+// two-phase router stage and the activity scheduler: for every traffic
+// pattern and mechanism tried, a Workers=4 run — with the active-set
+// scheduler on or off — must be bit-identical to the serial
+// scheduler-disabled run: same per-cycle grant sequences, same per-packet
+// latencies (both folded into the digest), same statistics, and a conserved
+// packet population on every side.
 func TestParallelEngineMatchesSerial(t *testing.T) {
 	cycles := 2500
 	if testing.Short() {
@@ -59,69 +63,81 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 	}{
 		{OFAR, "uniform", 0.8},     // saturating: misroutes, ring entries, RNG draws
 		{OFAR, "adversarial", 0.5}, // ADV+h: global misroutes and escape pressure
-		{OFAR, "burst", 0},         // closed-loop drain
+		{OFAR, "burst", 0},         // closed-loop drain: active set shrinks to zero
 		{PB, "adversarial", 0.4},   // flag boards published before the compute phase
 		{VAL, "uniform", 0.6},      // injection-time RNG draws
 	}
 	for _, tc := range cases {
 		name := string(tc.routing) + "/" + tc.traffic
 		t.Run(name, func(t *testing.T) {
-			cfg := DefaultConfig(3)
-			cfg.Routing = tc.routing
+			base := DefaultConfig(3)
+			base.Routing = tc.routing
 			if tc.routing != OFAR && tc.routing != OFARL {
-				cfg.Ring = RingNone
+				base.Ring = RingNone
 			}
-			serial := mustNet(t, cfg)
-			cfg.Workers = 4
-			parallel := mustNet(t, cfg)
-			serial.SetGenerator(genFor(serial, tc.traffic, tc.load))
-			parallel.SetGenerator(genFor(parallel, tc.traffic, tc.load))
-			serial.EnableGrantDigest()
-			parallel.EnableGrantDigest()
-			serial.Stats.StartMeasurement(0)
-			parallel.Stats.StartMeasurement(0)
+			mk := func(workers int, noSched bool) *Network {
+				cfg := base
+				cfg.Workers = workers
+				cfg.DisableActivitySched = noSched
+				n := mustNet(t, cfg)
+				n.SetGenerator(genFor(n, tc.traffic, tc.load))
+				n.EnableGrantDigest()
+				n.Stats.StartMeasurement(0)
+				return n
+			}
+			ref := mk(0, true) // serial, every router every cycle: the legacy engine
+			variants := map[string]*Network{
+				"serial+sched":     mk(0, false),
+				"workers4+nosched": mk(4, true),
+				"workers4+sched":   mk(4, false),
+			}
 
-			stepCompare(t, serial, parallel, cycles)
+			stepCompare(t, ref, variants, cycles)
 
-			ss, ps := serial.Stats, parallel.Stats
-			if ss.Generated != ps.Generated || ss.Injected != ps.Injected || ss.Delivered != ps.Delivered {
-				t.Fatalf("populations diverge: serial gen/inj/del %d/%d/%d, parallel %d/%d/%d",
-					ss.Generated, ss.Injected, ss.Delivered, ps.Generated, ps.Injected, ps.Delivered)
-			}
-			if math.Float64bits(ss.AvgLatency()) != math.Float64bits(ps.AvgLatency()) ||
-				ss.MaxLatency() != ps.MaxLatency() {
-				t.Fatalf("latencies diverge: serial avg %v max %d, parallel avg %v max %d",
-					ss.AvgLatency(), ss.MaxLatency(), ps.AvgLatency(), ps.MaxLatency())
-			}
-			if ss.GlobalMisroutes != ps.GlobalMisroutes || ss.LocalMisroutes != ps.LocalMisroutes ||
-				ss.RingEnters != ps.RingEnters || ss.RingExits != ps.RingExits {
-				t.Fatalf("routing decisions diverge: serial %d/%d/%d/%d, parallel %d/%d/%d/%d",
-					ss.GlobalMisroutes, ss.LocalMisroutes, ss.RingEnters, ss.RingExits,
-					ps.GlobalMisroutes, ps.LocalMisroutes, ps.RingEnters, ps.RingExits)
-			}
+			ss := ref.Stats
 			if ss.Delivered == 0 {
 				t.Fatal("nothing delivered — the case exercised no traffic")
 			}
-			if err := serial.CheckConservation(); err != nil {
-				t.Fatalf("serial: %v", err)
+			if err := ref.CheckConservation(); err != nil {
+				t.Fatalf("reference: %v", err)
 			}
-			if err := parallel.CheckConservation(); err != nil {
-				t.Fatalf("parallel: %v", err)
+			for name, v := range variants {
+				ps := v.Stats
+				if ss.Generated != ps.Generated || ss.Injected != ps.Injected || ss.Delivered != ps.Delivered {
+					t.Fatalf("%s populations diverge: reference gen/inj/del %d/%d/%d, got %d/%d/%d",
+						name, ss.Generated, ss.Injected, ss.Delivered, ps.Generated, ps.Injected, ps.Delivered)
+				}
+				if math.Float64bits(ss.AvgLatency()) != math.Float64bits(ps.AvgLatency()) ||
+					ss.MaxLatency() != ps.MaxLatency() {
+					t.Fatalf("%s latencies diverge: reference avg %v max %d, got avg %v max %d",
+						name, ss.AvgLatency(), ss.MaxLatency(), ps.AvgLatency(), ps.MaxLatency())
+				}
+				if ss.GlobalMisroutes != ps.GlobalMisroutes || ss.LocalMisroutes != ps.LocalMisroutes ||
+					ss.RingEnters != ps.RingEnters || ss.RingExits != ps.RingExits {
+					t.Fatalf("%s routing decisions diverge: reference %d/%d/%d/%d, got %d/%d/%d/%d",
+						name, ss.GlobalMisroutes, ss.LocalMisroutes, ss.RingEnters, ss.RingExits,
+						ps.GlobalMisroutes, ps.LocalMisroutes, ps.RingEnters, ps.RingExits)
+				}
+				if err := v.CheckConservation(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
 			}
 		})
 	}
 }
 
 // TestWorkerCountInvariance: the digest must not depend on *how many*
-// workers split the routers, only that the two-phase schedule is used.
+// workers split the routers, nor on whether the activity scheduler prunes
+// the iteration to the awake set.
 func TestWorkerCountInvariance(t *testing.T) {
 	cycles := 800
 	if testing.Short() {
 		cycles = 300
 	}
-	run := func(workers int) (uint64, int64) {
+	run := func(workers int, noSched bool) (uint64, int64) {
 		cfg := DefaultConfig(2)
 		cfg.Workers = workers
+		cfg.DisableActivitySched = noSched
 		n := mustNet(t, cfg)
 		n.SetGenerator(traffic.NewBernoulli(traffic.NewAdv(n.Topo, 2), 0.6, cfg.PacketSize))
 		n.EnableGrantDigest()
@@ -129,11 +145,14 @@ func TestWorkerCountInvariance(t *testing.T) {
 		d, c := n.GrantDigest()
 		return d, c
 	}
-	wantD, wantC := run(0)
-	for _, w := range []int{2, 3, 7, 64} { // 64 > router count: clamped
-		d, c := run(w)
-		if d != wantD || c != wantC {
-			t.Fatalf("workers=%d: digest %016x (%d) != serial %016x (%d)", w, d, c, wantD, wantC)
+	wantD, wantC := run(0, true)
+	for _, noSched := range []bool{false, true} {
+		for _, w := range []int{0, 2, 3, 7, 64} { // 64 > router count: clamped
+			d, c := run(w, noSched)
+			if d != wantD || c != wantC {
+				t.Fatalf("workers=%d noSched=%v: digest %016x (%d) != reference %016x (%d)",
+					w, noSched, d, c, wantD, wantC)
+			}
 		}
 	}
 }

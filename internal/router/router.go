@@ -72,6 +72,20 @@ type Router struct {
 	occPhits int
 	capPhits int
 
+	// readyVCs counts input VCs holding a routable head: non-empty and not
+	// draining. It is maintained incrementally by Arrive/Inject/commit/
+	// FinishDrain and is the network activity scheduler's wake predicate —
+	// when it is zero, Cycle provably has no side effects (no engine.Route
+	// call, no RNG draw, no arbiter movement, no header writes), so the
+	// router may be skipped without perturbing the simulation.
+	readyVCs int
+
+	// pbDirty is set whenever the canonical occupancy of a global output
+	// port may have changed (credits taken or refunded), i.e. whenever the
+	// PB flags this router publishes could differ from their last published
+	// values. The network republishes only dirty routers.
+	pbDirty bool
+
 	// allocator scratch state (reused every cycle)
 	inArb      []LRS
 	outArb     []LRS
@@ -250,7 +264,9 @@ func (r *Router) PBFlag(link int, now int64) bool {
 }
 
 // UpdatePBFlags publishes the congestion state of this router's own global
-// links to the group's flag board; call once per cycle when PB is active.
+// links to the group's flag board. The board stores transitions, so calling
+// this only after a credit movement on a global port (see PBDirty) yields
+// exactly the same reader-visible flag sequence as calling it every cycle.
 func (r *Router) UpdatePBFlags(now int64) {
 	if r.pb == nil {
 		return
@@ -264,7 +280,13 @@ func (r *Router) UpdatePBFlags(now int64) {
 		}
 		r.pb.Set(now, rl*r.Topo.H+k, op.Occupancy() >= r.pbThreshold)
 	}
+	r.pbDirty = false
 }
+
+// PBDirty reports whether a global output port's occupancy may have changed
+// since the last UpdatePBFlags, i.e. whether the router's published PB flags
+// could be stale.
+func (r *Router) PBDirty() bool { return r.pbDirty }
 
 // --- event-side interface (driven by the network) ---------------------------
 
@@ -273,6 +295,9 @@ func (r *Router) UpdatePBFlags(now int64) {
 func (r *Router) Arrive(port, vc int, p *packet.Packet) {
 	inp := &r.In[port]
 	buf := &inp.VCs[vc]
+	if buf.Len() == 0 && !buf.Draining() {
+		r.readyVCs++ // empty → head becomes routable
+	}
 	buf.Push(p)
 	if !buf.Escape {
 		r.occPhits += p.Size
@@ -299,6 +324,9 @@ func (r *Router) FinishDrain(port, vc int) (p *packet.Packet, upRouter, upPort i
 	inp := &r.In[port]
 	buf := &inp.VCs[vc]
 	p = buf.FinishDrain()
+	if buf.Len() > 0 {
+		r.readyVCs++ // the queued packet behind the drained head is now routable
+	}
 	if !buf.Escape {
 		r.occPhits -= p.Size
 	}
@@ -307,7 +335,12 @@ func (r *Router) FinishDrain(port, vc int) (p *packet.Packet, upRouter, upPort i
 
 // AddCredit refunds credits on an output port (a downstream buffer freed
 // space).
-func (r *Router) AddCredit(port, vc, phits int) { r.Out[port].Refund(vc, phits) }
+func (r *Router) AddCredit(port, vc, phits int) {
+	r.Out[port].Refund(vc, phits)
+	if r.pb != nil && r.Out[port].Kind == topology.PortGlobal {
+		r.pbDirty = true
+	}
+}
 
 // InjectionSpace returns the injection VC of node-slot port `port` with the
 // most free space, if any fits a packet of `size` phits.
@@ -325,9 +358,24 @@ func (r *Router) InjectionSpace(port, size int) (vc int, ok bool) {
 // Inject places a freshly generated packet into injection buffer (port, vc).
 func (r *Router) Inject(port, vc int, p *packet.Packet, now int64) {
 	p.Injected = now
-	r.In[port].VCs[vc].Push(p)
+	buf := &r.In[port].VCs[vc]
+	if buf.Len() == 0 && !buf.Draining() {
+		r.readyVCs++
+	}
+	buf.Push(p)
 	r.occPhits += p.Size
 }
+
+// HasRoutableWork reports whether any input VC holds a routable head (non-
+// empty, not draining). When false, Cycle is a guaranteed no-op — it calls
+// no engine, draws no randomness and moves no arbiter state — which is the
+// contract that lets the network's activity scheduler skip this router
+// without changing results (see TestIdleCycleIsPure).
+func (r *Router) HasRoutableWork() bool { return r.readyVCs > 0 }
+
+// RoutableVCs returns the number of input VCs with a routable head (test
+// and diagnostics hook for the activity-tracking counter).
+func (r *Router) RoutableVCs() int { return r.readyVCs }
 
 // CanonicalOccupancy returns the fraction of this router's canonical input
 // buffering that is currently occupied — the congestion signal used by the
@@ -372,6 +420,65 @@ func (r *Router) CheckCredits(routers []*Router, inFlight func(router, port, vc 
 		}
 	}
 	return nil
+}
+
+// StateFingerprint folds every piece of router state that a Cycle call may
+// mutate — the private RNG stream, the arbiter LRS memories, buffer contents
+// and drain state, port serialization deadlines and the occupancy counters —
+// into one FNV-1a hash. Tests compare fingerprints across a Cycle call on an
+// idle router to prove the call had no side effects (the contract the
+// network's activity scheduler relies on). The request scratch slots and the
+// grants slice are deliberately excluded: both are reset at the top of every
+// Cycle before being read, so stale contents are unobservable.
+func (r *Router) StateFingerprint() uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	mixb := func(b bool) {
+		if b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	for _, s := range r.rng.State() {
+		mix(s)
+	}
+	for i := range r.inArb {
+		for _, t := range r.inArb[i].lastServed {
+			mix(uint64(t))
+		}
+		for _, t := range r.outArb[i].lastServed {
+			mix(uint64(t))
+		}
+	}
+	mix(uint64(r.occPhits))
+	mix(uint64(r.readyVCs))
+	mixb(r.pbDirty)
+	for i := range r.In {
+		inp := &r.In[i]
+		mix(uint64(inp.busyUntil))
+		for vc := range inp.VCs {
+			buf := &inp.VCs[vc]
+			mix(uint64(buf.Len()))
+			mix(uint64(buf.Occupied()))
+			mixb(buf.Draining())
+		}
+		op := &r.Out[i]
+		mix(uint64(op.busyUntil))
+		for vc := range op.credits {
+			mix(uint64(op.credits[vc]))
+		}
+	}
+	return h
 }
 
 // --- per-cycle routing + switch allocation -----------------------------------
@@ -507,6 +614,7 @@ func (r *Router) commit(ip, vc int, req Request, now int64) {
 	buf := &inp.VCs[vc]
 	p := buf.Head()
 	buf.BeginDrain()
+	r.readyVCs-- // the head drains; anything queued behind it must wait
 	size := int64(p.Size)
 	inp.busyUntil = now + size
 	out := &r.Out[req.Out]
@@ -514,6 +622,9 @@ func (r *Router) commit(ip, vc int, req Request, now int64) {
 	eject := out.Kind == topology.PortNode
 	if !eject {
 		out.Take(req.VC, p.Size)
+		if r.pb != nil && out.Kind == topology.PortGlobal {
+			r.pbDirty = true
+		}
 	}
 	if req.SetGlobalMis {
 		p.GlobalMisrouted = true

@@ -40,6 +40,11 @@ func (r *RNG) Derive(stream uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (stream * 0x9e3779b97f4a7c15))
 }
 
+// State returns a snapshot of the generator's internal state. Two RNGs with
+// equal state produce identical streams; tests use this to prove a code path
+// consumed no randomness (e.g. that an idle router cycle draws nothing).
+func (r *RNG) State() [4]uint64 { return r.s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
