@@ -29,10 +29,13 @@ bench:
 	$(GO) test -bench . -benchmem .
 
 # Machine-readable Step benchmarks (name, ns/op, allocs/op) across the load
-# range, scheduler on/off, serial and parallel — the activity scheduler's
-# tracked baseline. Compare against the committed BENCH_step.json.
+# range, scheduler on/off, serial and pooled (4 and 8 workers), plus the
+# isolated pool-dispatch barrier cost — the tracked perf baseline of the
+# activity scheduler and the worker pool. -count 3 with benchjson's
+# min-fold absorbs shared-machine noise (single runs swing ±10%). Compare
+# against the committed BENCH_step.json.
 bench-json:
-	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep' -benchmem -benchtime 2s \
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch' -benchmem -benchtime 1s -count 3 \
 		| $(GO) run ./cmd/benchjson > BENCH_step.json
 	@cat BENCH_step.json
 

@@ -8,13 +8,22 @@
 // bench run:
 //
 //	go test -bench StepByLoad -benchmem ./internal/network | go run ./cmd/benchjson
+//
+// Repeated names (a `-count N` run) are folded into one entry keeping the
+// best (minimum) ns/op and B/op and the worst (maximum) allocs/op: minimum
+// time is the least-interference estimate on a noisy shared machine, while
+// maximum allocs keeps the committed zero-alloc claim honest — a single
+// allocating run must show. Iterations accumulate across the folded runs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 )
@@ -60,13 +69,61 @@ func parseLine(line string) (Result, bool) {
 }
 
 func main() {
+	// pprof hooks, mirroring cmd/ofarsim: the parser is never hot, but the
+	// flags keep the whole bench pipeline attributable without code edits.
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
 	var results []Result
+	index := make(map[string]int) // name → position in results
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
 		}
+		i, seen := index[r.Name]
+		if !seen {
+			index[r.Name] = len(results)
+			results = append(results, r)
+			continue
+		}
+		// -count N repeat: fold into the existing entry (see doc comment).
+		prev := &results[i]
+		prev.Iterations += r.Iterations
+		prev.NsPerOp = min(prev.NsPerOp, r.NsPerOp)
+		prev.BytesPerOp = min(prev.BytesPerOp, r.BytesPerOp)
+		prev.AllocsPerOp = max(prev.AllocsPerOp, r.AllocsPerOp)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)

@@ -33,7 +33,8 @@ type scale struct {
 	maxCyc  int
 	seed    uint64
 	svgDir  string // when non-empty, write an SVG per figure
-	workers int    // intra-network router-stage workers (0/1 = serial)
+	workers int    // intra-network router-stage pool workers (0/1 = serial)
+	cutover int    // serial/parallel cutover (0 = auto-calibrate)
 }
 
 func main() {
@@ -46,10 +47,11 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed")
 		points = flag.Int("points", 8, "load points per sweep")
 		svgDir = flag.String("svg", "", "directory to write one SVG chart per figure (optional)")
-		work   = flag.Int("workers", 0, "router-stage workers per network (0/1 = serial; bit-identical results, useful at h=6)")
+		work   = flag.Int("workers", 0, "router-stage pool workers per network (0/1 = serial; bit-identical results, useful at h=6)")
+		cut    = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto)")
 	)
 	flag.Parse()
-	sc := scale{h: *h, warmup: *warm, measure: *meas, burst: *burst, maxCyc: 50_000_000, seed: *seed, svgDir: *svgDir, workers: *work}
+	sc := scale{h: *h, warmup: *warm, measure: *meas, burst: *burst, maxCyc: 50_000_000, seed: *seed, svgDir: *svgDir, workers: *work, cutover: *cut}
 	if sc.svgDir != "" {
 		if err := os.MkdirAll(sc.svgDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -164,6 +166,7 @@ func cfgFor(sc scale, rt ofar.Routing) ofar.Config {
 	cfg := ofar.DefaultConfig(sc.h)
 	cfg.Seed = sc.seed
 	cfg.Workers = sc.workers
+	cfg.ParallelCutover = sc.cutover
 	cfg.Routing = rt
 	if rt == ofar.MIN || rt == ofar.VAL || rt == ofar.PB || rt == ofar.UGAL {
 		cfg.Ring = ofar.RingNone

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ofar"
@@ -32,12 +34,40 @@ func main() {
 		nonMin   = flag.Float64("nonmin-factor", 0.9, "OFAR variable threshold factor")
 		static   = flag.Float64("static-th", -1, "OFAR static non-minimal threshold (<0 = variable policy)")
 		escapeTO = flag.Int("escape-timeout", 32, "blocked cycles before requesting the escape ring")
-		workers  = flag.Int("workers", 0, "intra-cycle router-stage workers (0/1 = serial; results are bit-identical)")
+		workers  = flag.Int("workers", 0, "intra-cycle router-stage workers on a persistent pool (0/1 = serial; results are bit-identical)")
+		cutover  = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto-calibrate from -workers)")
 		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
 		confPath = flag.String("config", "", "load the full network config from a JSON file (overrides topology/router flags)")
 		dumpConf = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("creating CPU profile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal("creating heap profile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // collect dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("writing heap profile: %v", err)
+			}
+		}()
+	}
 
 	cfg := ofar.DefaultConfig(*h)
 	cfg.Groups = *groups
@@ -67,6 +97,7 @@ func main() {
 	}
 
 	cfg.Workers = *workers
+	cfg.ParallelCutover = *cutover
 
 	if *confPath != "" {
 		loaded, err := ofar.LoadConfig(*confPath)
@@ -74,11 +105,14 @@ func main() {
 			fatal("%v", err)
 		}
 		cfg = loaded
-		// An explicit -workers flag overrides the file: the worker count
-		// changes wall-clock time only, never results.
+		// Explicit -workers/-cutover flags override the file: both change
+		// wall-clock time only, never results.
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "workers" {
+			switch f.Name {
+			case "workers":
 				cfg.Workers = *workers
+			case "cutover":
+				cfg.ParallelCutover = *cutover
 			}
 		})
 	}

@@ -27,13 +27,15 @@ func main() {
 		measure = flag.Int("measure", 5000, "measurement cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		seeds   = flag.Int("seeds", 1, "replicate each point across this many seeds (mean±sd output)")
-		workers = flag.Int("workers", 0, "router-stage workers per network (0/1 = serial; bit-identical results)")
+		workers = flag.Int("workers", 0, "router-stage pool workers per network (0/1 = serial; bit-identical results)")
+		cutover = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto)")
 	)
 	flag.Parse()
 
 	cfg := ofar.DefaultConfig(*h)
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.ParallelCutover = *cutover
 	cfg.Routing = ofar.Routing(strings.ToUpper(*routing))
 	if cfg.Routing == ofar.PAR {
 		cfg.LocalVCs, cfg.InjVCs = 4, 4

@@ -44,6 +44,7 @@ func RunSteady(cfg Config, ps PatternSpec, load float64, warmup, measure int) (S
 	if err != nil {
 		return SteadyResult{}, err
 	}
+	defer n.Close()
 	pattern := ps.build(n.Topo)
 	n.SetGenerator(traffic.NewBernoulli(pattern, load, cfg.PacketSize))
 	n.Stats.EnableHistogram()
@@ -97,20 +98,27 @@ func RunLoadSweep(cfg Config, ps PatternSpec, loads []float64, warmup, measure i
 // not perturb determinism — and neither does cfg.Workers, the intra-network
 // parallel router stage, which is bit-identical to the serial engine.
 //
-// The two levels compose: workers bounds the total CPU budget (≤ 0 uses
-// GOMAXPROCS), and each concurrently simulated network uses cfg.Workers
-// goroutines for its router stage, so the number of in-flight networks is
-// capped at workers / max(1, cfg.Workers) (always at least one).
+// The two levels compose, coarsely: workers bounds the sweep's concurrency
+// budget (≤ 0 uses GOMAXPROCS), and each concurrently simulated network
+// owns a resident pool of cfg.Workers router-stage workers. With the
+// spawn-per-cycle engine it was right to divide the caller's budget by
+// cfg.Workers — every in-flight network really ran that many goroutines
+// every cycle. With the persistent pool that division over-throttles: pool
+// workers are resident but *parked* whenever the parallel cutover keeps a
+// step serial, which is the whole low-load half of a typical sweep, so a
+// small explicit budget (say 3, as the sweep tests pass) would pin the
+// sweep to one network while nearly every pool goroutine slept. The cap is
+// therefore recalibrated to the machine: max(1, GOMAXPROCS/cfg.Workers)
+// in-flight networks — the honest bound for the steady state where every
+// network is saturated and every pool busy — further capped by an explicit
+// caller budget only when that budget is smaller.
 func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, measure, workers int) ([]SteadyResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nets := workers
 	if cfg.Workers > 1 {
-		nets = workers / cfg.Workers
-		if nets < 1 {
-			nets = 1
-		}
+		nets = min(workers, max(1, runtime.GOMAXPROCS(0)/cfg.Workers))
 	}
 	out := make([]SteadyResult, len(loads))
 	errs := make([]error, len(loads))
@@ -234,6 +242,7 @@ func RunTransient(cfg Config, before, after PatternSpec, load float64, warmup, r
 	if err != nil {
 		return TransientResult{}, err
 	}
+	defer n.Close()
 	pb := before.build(n.Topo)
 	pa := after.build(n.Topo)
 	switchAt := int64(warmup)
@@ -282,6 +291,7 @@ func RunBurst(cfg Config, ps PatternSpec, perNode, maxCycles int) (BurstResult, 
 	if err != nil {
 		return BurstResult{}, err
 	}
+	defer n.Close()
 	pattern := ps.build(n.Topo)
 	n.SetGenerator(traffic.NewBurst(pattern, perNode, n.Topo.Nodes))
 	drained := n.RunUntilDrained(maxCycles)

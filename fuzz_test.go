@@ -58,6 +58,7 @@ func FuzzParallelConservation(f *testing.F) {
 		if err != nil {
 			t.Fatalf("h=1 config failed to build: %v", err)
 		}
+		defer sim.Close()
 		sim.SetTraffic(ps, load)
 		sim.Run(200)
 		if err := sim.Network().CheckConservation(); err != nil {

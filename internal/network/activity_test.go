@@ -133,14 +133,17 @@ func TestReadyVCCounterMatchesBuffers(t *testing.T) {
 	}
 }
 
-// BenchmarkStepByLoad is the activity scheduler's headline measurement: h=3
-// cycle cost across the load range of the paper's latency/throughput sweeps
-// (most sweep points sit below saturation, where the scheduler skips the
-// bulk of the routers), with the scheduler on and off, serial and with 4
-// workers. `make bench-json` records the numbers in BENCH_step.json.
+// BenchmarkStepByLoad is the per-cycle cost tracker for the activity
+// scheduler and the worker pool: h=3 cycle cost across the load range of
+// the paper's latency/throughput sweeps (most sweep points sit below
+// saturation, where the scheduler skips the bulk of the routers), with the
+// scheduler on and off, serial and with 4 and 8 pool workers. The parallel
+// rows exercise the cutover exactly as production runs do: low-load steps
+// fall back to the serial path, saturated steps dispatch to the pool.
+// `make bench-json` records the numbers in BENCH_step.json.
 func BenchmarkStepByLoad(b *testing.B) {
 	for _, load := range []float64{0.05, 0.2, 0.5, 0.9} {
-		for _, workers := range []int{0, 4} {
+		for _, workers := range []int{0, 4, 8} {
 			for _, sched := range []bool{true, false} {
 				wname := "serial"
 				if workers > 0 {
@@ -158,6 +161,7 @@ func BenchmarkStepByLoad(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
+					defer n.Close()
 					n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
 					n.Run(2000) // reach steady state before measuring
 					b.ReportAllocs()

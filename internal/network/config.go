@@ -86,12 +86,26 @@ type Config struct {
 
 	// Workers sets the intra-cycle parallelism of the router stage: the
 	// per-router compute phase (routing decisions + switch allocation) runs
-	// on this many goroutines, sharded by router index, while grants are
-	// still committed serially in router-index order. Because every
-	// stochastic draw comes from a per-router RNG stream, results are
-	// bit-identical to the serial engine for any worker count. 0 or 1 runs
-	// the classic serial loop; negative values are rejected.
+	// on a persistent pool of this many workers (the Step caller plus
+	// Workers−1 goroutines parked between cycles), balanced over the awake
+	// routers by a work-stealing cursor, while grants are still committed
+	// serially in router-index order. Because every stochastic draw comes
+	// from a per-router RNG stream and engine clones are behaviorally
+	// identical, results are bit-identical to the serial engine for any
+	// worker count. 0 or 1 runs the classic serial loop; negative values
+	// are rejected. Networks built with Workers > 1 own goroutines: call
+	// Network.Close when done with them.
 	Workers int
+
+	// ParallelCutover is the active-list length below which a Workers > 1
+	// network still runs the cycle serially on the caller's goroutine: with
+	// only a few awake routers the pool's wake/join barrier costs more than
+	// the sharded compute saves. 0 auto-calibrates from the worker count
+	// (see autoCutover); 1 forces every non-empty cycle through the pool
+	// (tests use this); values above the router count effectively pin the
+	// network serial. Results are bit-identical either way — the cutover
+	// moves wall-clock time only. Negative values are rejected.
+	ParallelCutover int
 
 	// DisableActivitySched turns off the active-set router scheduler and
 	// reverts Step to visiting every router every cycle. The scheduler skips
@@ -171,6 +185,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("network: pending cap must be ≥ 1")
 	case c.Workers < 0:
 		return fmt.Errorf("network: worker count must be ≥ 0 (0 = serial)")
+	case c.ParallelCutover < 0:
+		return fmt.Errorf("network: parallel cutover must be ≥ 0 (0 = auto)")
 	}
 	if c.Ring != RingNone {
 		if c.NumRings < 1 {

@@ -42,6 +42,7 @@ func goldenRun(t *testing.T, load float64, workers int, noSched bool) []byte {
 	cfg.Workers = workers
 	cfg.DisableActivitySched = noSched
 	n := mustNet(t, cfg)
+	defer n.Close()
 	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
 	n.EnableGrantLog(goldenHead)
 	n.Run(goldenCycles)

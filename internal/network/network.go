@@ -2,8 +2,9 @@ package network
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"slices"
-	"sync"
 
 	"ofar/internal/core"
 	"ofar/internal/packet"
@@ -54,12 +55,16 @@ type Network struct {
 	congestionOn bool
 	congestionTh float64
 
-	// Parallel router stage (Config.Workers > 1): per-worker engines (clones
-	// when the engine carries scratch state) and the per-router grant buffers
-	// the compute phase fills for the serial commit phase.
-	workers   int
-	workerEng []router.Engine
-	grantBuf  [][]router.Grant
+	// Parallel router stage (Config.Workers > 1): a persistent worker pool
+	// (see pool.go), per-worker engines (clones when the engine carries
+	// scratch state), the per-router grant buffers the compute phase fills
+	// for the serial commit phase, and the cutover below which a cycle runs
+	// serially on the caller's goroutine.
+	workers    int
+	workerEng  []router.Engine
+	grantBuf   [][]router.Grant
+	workerPool *stepPool
+	cutover    int
 
 	// Active-set scheduler (on unless Config.DisableActivitySched): only
 	// routers that can possibly produce a grant or observable side effect
@@ -337,8 +342,44 @@ func New(cfg Config) (*Network, error) {
 				n.workerEng[w] = n.Engine
 			}
 		}
+		n.cutover = cfg.ParallelCutover
+		if n.cutover == 0 {
+			n.cutover = autoCutover(n.workers)
+		}
+		n.startPool(n.workers)
 	}
 	return n, nil
+}
+
+// autoCutover picks the active-list size below which a parallel network runs
+// the cycle serially on the caller's goroutine, calibrated from the machine
+// and the worker count rather than measured at runtime (a measurement would
+// make wall-clock behavior depend on warm-up noise; the formula keeps it
+// reproducible). Two regimes:
+//
+//   - GOMAXPROCS == 1: a pool dispatch can never win — the caller computes
+//     the whole list itself and then pays goroutine switches just to join
+//     the parked workers — so the cutover is pinned above any possible
+//     active list and every cycle stays serial. (Tests that need the pool
+//     exercised regardless set ParallelCutover = 1 explicitly.)
+//
+//   - multicore: a pool dispatch (wake + steal + join) costs a handful of
+//     microseconds; one awake router's compute phase costs ~1–2 µs
+//     (saturated h=3: ~170 µs over 114 routers). Splitting across w workers
+//     saves (1−1/w) of the compute, so the break-even list length is
+//     barrier / (cost·(1−1/w)) ≈ a few routers per worker; below it the
+//     barrier is pure loss. 6·workers keeps a comfortable margin above
+//     break-even without delaying the crossover past the loads where
+//     parallelism starts paying (the BENCH_step.json sweep is the
+//     calibration record).
+//
+// The cutover moves wall-clock time only; results are bit-identical on
+// every machine either way.
+func autoCutover(workers int) int {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return math.MaxInt32
+	}
+	return 6 * workers
 }
 
 // SetGenerator attaches the traffic source.
@@ -353,9 +394,12 @@ func (n *Network) Now() int64 { return n.now }
 // Step advances the simulation one cycle: deliver due events, generate and
 // inject traffic, publish PB flags, then run routing and switch allocation
 // on the routers that can do work this cycle (all of them when the activity
-// scheduler is disabled). With Config.Workers > 1 the router stage runs as
-// two phases — a parallel compute phase and a serial commit phase — with
-// bit-identical results (see cycleRouters).
+// scheduler is disabled). With Config.Workers > 1 and an active list at
+// least ParallelCutover long, the router stage runs as two phases — a
+// parallel compute phase on the persistent worker pool and a serial commit
+// phase — with bit-identical results (see cycleRouters); shorter lists run
+// serially on the caller's goroutine, where the pool barrier could never
+// pay for itself.
 func (n *Network) Step() {
 	now := n.now
 	for _, ev := range n.wheel.Advance() {
@@ -372,7 +416,7 @@ func (n *Network) Step() {
 		list = n.compactActive()
 	}
 	if len(list) > 0 {
-		if n.workers > 1 {
+		if n.workers > 1 && len(list) >= n.cutover {
 			n.cycleRouters(list, now)
 		} else {
 			for _, i := range list {
@@ -398,6 +442,17 @@ func (n *Network) wake(r int32) {
 		n.awake[r] = true
 		n.active = append(n.active, r)
 	}
+}
+
+// ActiveRouters reports how many routers are currently on the activity
+// scheduler's active list (every router when the scheduler is disabled).
+// This is the quantity the parallel cutover compares against
+// Config.ParallelCutover; exposed for diagnostics and calibration.
+func (n *Network) ActiveRouters() int {
+	if n.schedOn {
+		return len(n.active)
+	}
+	return len(n.Routers)
 }
 
 // compactActive drops routers with no routable buffer head from the active
@@ -435,46 +490,6 @@ func (n *Network) publishPB(now int64) {
 	}
 	for _, r := range n.Routers {
 		r.UpdatePBFlags(now)
-	}
-}
-
-// cycleRouters is the parallel router stage over the given iteration list
-// (all routers, or the sorted active set). Compute phase: workers shard the
-// list by stride and run router.Cycle concurrently — legal because Cycle
-// reads and writes only router-local state (input buffers, credit mirrors of
-// its own output ports, arbiter memories, its private RNG stream) plus the
-// PB flag boards, which were fully published earlier in this cycle and are
-// read-only here. Commit phase: grants are applied serially in list order —
-// ascending router index, exactly the order the serial loop uses — so
-// timing-wheel insertion order, statistics and traces are preserved.
-// n.commit itself touches no router state read by Cycle, which is why
-// deferring all commits behind the barrier changes nothing.
-//
-// grantBuf entries alias the per-router grant slices that Cycle itself
-// reuses across cycles; they are never cleared here, because the commit loop
-// reads only the entries of routers on this cycle's list, each freshly
-// written by the compute phase. (Clearing them every cycle, as an earlier
-// version did, only cost stores and defeated slice reuse.)
-func (n *Network) cycleRouters(list []int32, now int64) {
-	var wg sync.WaitGroup
-	for w := 0; w < n.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			eng := n.workerEng[w]
-			for k := w; k < len(list); k += n.workers {
-				i := list[k]
-				n.grantBuf[i] = n.Routers[i].Cycle(eng, now)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, i := range list {
-		r := n.Routers[i]
-		grants := n.grantBuf[i]
-		for j := range grants {
-			n.commit(r, &grants[j], now)
-		}
 	}
 }
 

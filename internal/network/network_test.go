@@ -24,6 +24,7 @@ func mustNet(t *testing.T, cfg Config) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(n.Close)
 	return n
 }
 

@@ -1,0 +1,221 @@
+package network
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ofar/internal/router"
+)
+
+// stepPool is the persistent worker pool behind the parallel router stage.
+// It replaces the spawn-per-Step goroutines of the first two-phase engine,
+// whose per-cycle cost (goroutine launch, closure allocation, channel
+// fan-in) exceeded the sharded compute at every load below saturation.
+//
+// Lifecycle: Network.New starts Workers−1 goroutines parked on the dispatch
+// barrier; the caller of Step acts as the pool's remaining worker, so the
+// pool always has exactly Config.Workers computing participants and the
+// caller never idles while work remains. Network.Close retires the
+// goroutines; an un-Closed parallel Network pins them (parked, but alive)
+// for the life of the process.
+//
+// One compute epoch:
+//
+//  1. dispatch — the caller publishes the cycle's work (active list + now),
+//     resets the work-stealing cursor and the pending count, bumps the
+//     epoch under the dispatch mutex and broadcasts. Everything is reused:
+//     steady-state dispatch performs zero allocations.
+//  2. steal    — every participant (parked workers and the caller alike)
+//     claims chunks of the list via an atomic cursor and runs router.Cycle
+//     with its own engine, writing each router's grants into grantBuf.
+//     Stealing over the *active* list balances load over awake routers;
+//     which worker computes which router is unobservable because routing
+//     state lives in the router (buffers, arbiters, private RNG stream) and
+//     engine clones are behaviorally identical (router.ConcurrentCloner).
+//  3. join     — each parked worker decrements pending when the cursor runs
+//     dry; the last one records the epoch in doneEpoch and signals. The
+//     caller spins briefly (a compute phase is short), yields, then parks
+//     on the completion cond. Grants are then committed serially in list
+//     order, exactly as the serial loop would, so runs stay bit-identical
+//     for any worker count.
+type stepPool struct {
+	// Hot shared state, reset at each dispatch.
+	cursor  atomic.Int64 // next unclaimed index into list
+	pending atomic.Int32 // parked workers still computing this epoch
+	chunk   int64        // list indices claimed per cursor grab
+
+	// Dispatch barrier: workers park on cond until epoch advances.
+	// list/now/cursor/pending/chunk are written by the caller before the
+	// epoch bump, so the mutex hand-off publishes them to the workers.
+	mu     sync.Mutex
+	cond   sync.Cond
+	epoch  uint64 // guarded by mu
+	closed bool   // guarded by mu
+
+	list []int32
+	now  int64
+
+	// Completion barrier: the last finisher of an epoch publishes it here.
+	// Epoch-tagged (not a boolean) so a straggler signalling an old epoch
+	// late can never satisfy a newer wait.
+	doneMu    sync.Mutex
+	doneCond  sync.Cond
+	doneEpoch uint64 // guarded by doneMu
+
+	workers sync.WaitGroup // worker goroutine lifetimes, for Close
+}
+
+// chunkFor sizes cursor grabs: large enough that cursor contention is noise,
+// small enough that the tail imbalance stays below one chunk per worker.
+func chunkFor(n, workers int) int64 {
+	c := n / (workers * 4)
+	if c < 4 {
+		c = 4
+	}
+	if c > 64 {
+		c = 64
+	}
+	return int64(c)
+}
+
+// startPool creates the pool and parks workers−1 goroutines on it. Worker 0
+// is the Step caller (it uses the primary engine, n.Engine == workerEng[0]);
+// goroutines w = 1..workers−1 use their per-worker engine clones.
+func (n *Network) startPool(workers int) {
+	p := &stepPool{}
+	p.cond.L = &p.mu
+	p.doneCond.L = &p.doneMu
+	n.workerPool = p
+	for w := 1; w < workers; w++ {
+		p.workers.Add(1)
+		go n.poolWorker(w)
+	}
+}
+
+// poolWorker is one parked pool goroutine: wait for a new epoch, steal and
+// compute until the cursor runs dry, then report in.
+func (n *Network) poolWorker(w int) {
+	p := n.workerPool
+	defer p.workers.Done()
+	eng := n.workerEng[w]
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for p.epoch == seen && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		seen = p.epoch
+		list, now := p.list, p.now
+		p.mu.Unlock()
+
+		n.computeShare(eng, list, now)
+
+		if p.pending.Add(-1) == 0 {
+			p.doneMu.Lock()
+			p.doneEpoch = seen
+			p.doneMu.Unlock()
+			p.doneCond.Signal()
+		}
+	}
+}
+
+// computeShare claims chunks of the iteration list until it is exhausted and
+// runs the router compute phase for each claimed router. Safe concurrently:
+// Cycle reads and writes only router-local state (input buffers, credit
+// mirrors of its own output ports, arbiter memories, its private RNG stream)
+// plus the PB flag boards, which were fully published earlier in the cycle
+// and are read-only here; distinct routers write distinct grantBuf entries.
+func (n *Network) computeShare(eng router.Engine, list []int32, now int64) {
+	p := n.workerPool
+	chunk := p.chunk
+	for {
+		end := p.cursor.Add(chunk)
+		k := end - chunk
+		if k >= int64(len(list)) {
+			return
+		}
+		if end > int64(len(list)) {
+			end = int64(len(list))
+		}
+		for _, i := range list[k:end] {
+			n.grantBuf[i] = n.Routers[i].Cycle(eng, now)
+		}
+	}
+}
+
+// cycleRouters runs one parallel router stage over the given iteration list
+// (the sorted active set, or all routers with the scheduler disabled):
+// dispatch an epoch to the pool, compute the caller's share, join, then
+// commit every grant serially in list order — ascending router index,
+// exactly the order the serial loop uses — so timing-wheel insertion order,
+// statistics and traces are bit-identical to a serial run.
+//
+// grantBuf entries alias the per-router grant slices that Cycle itself
+// reuses across cycles; they are never cleared here, because the commit loop
+// reads only the entries of routers on this cycle's list, each freshly
+// written by the compute phase.
+func (n *Network) cycleRouters(list []int32, now int64) {
+	p := n.workerPool
+	p.list, p.now = list, now
+	p.chunk = chunkFor(len(list), n.workers)
+	p.cursor.Store(0)
+	p.pending.Store(int32(n.workers - 1))
+	p.mu.Lock()
+	p.epoch++
+	epoch := p.epoch
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	n.computeShare(n.Engine, list, now)
+
+	// Join: a compute phase is tens of microseconds, so spin first (cheap
+	// loads), then yield the P so parked-but-runnable workers get it (this
+	// is what keeps GOMAXPROCS=1 runs — e.g. under testing.AllocsPerRun —
+	// live), and only then park on the completion cond.
+	for spin := 0; p.pending.Load() != 0; spin++ {
+		if spin < 64 {
+			continue
+		}
+		if spin < 256 {
+			runtime.Gosched()
+			continue
+		}
+		p.doneMu.Lock()
+		for p.doneEpoch != epoch {
+			p.doneCond.Wait()
+		}
+		p.doneMu.Unlock()
+		break
+	}
+
+	for _, i := range list {
+		r := n.Routers[i]
+		grants := n.grantBuf[i]
+		for j := range grants {
+			n.commit(r, &grants[j], now)
+		}
+	}
+}
+
+// Close retires the worker pool's goroutines and waits for them to exit.
+// Idempotent and safe on serial networks (no-op). Must not be called
+// concurrently with Step, and a closed parallel network must not be stepped
+// again (there is no one left to answer a dispatch).
+func (n *Network) Close() {
+	p := n.workerPool
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
+}

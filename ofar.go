@@ -118,3 +118,9 @@ func (s *Simulator) Run(cycles int) { s.net.Run(cycles) }
 // Network exposes the underlying assembly for advanced users (examples,
 // tests, custom experiment drivers).
 func (s *Simulator) Network() *network.Network { return s.net }
+
+// Close releases the simulator's resources — with Config.Workers > 1, the
+// persistent router-stage worker pool. Idempotent; a no-op for serial
+// configurations. The RunSteady/RunTransient/RunBurst drivers close their
+// networks themselves.
+func (s *Simulator) Close() { s.net.Close() }
