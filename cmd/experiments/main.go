@@ -35,6 +35,7 @@ type scale struct {
 	svgDir  string // when non-empty, write an SVG per figure
 	workers int    // intra-network router-stage pool workers (0/1 = serial)
 	cutover int    // serial/parallel cutover (0 = auto-calibrate)
+	faults  []ofar.Fault
 }
 
 func main() {
@@ -49,9 +50,15 @@ func main() {
 		svgDir = flag.String("svg", "", "directory to write one SVG chart per figure (optional)")
 		work   = flag.Int("workers", 0, "router-stage pool workers per network (0/1 = serial; bit-identical results, useful at h=6)")
 		cut    = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto)")
+		faults = flag.String("faults", "", "fault schedule applied to every run: a JSON file of Fault objects, or inline like link@5000:12:7")
 	)
 	flag.Parse()
 	sc := scale{h: *h, warmup: *warm, measure: *meas, burst: *burst, maxCyc: 50_000_000, seed: *seed, svgDir: *svgDir, workers: *work, cutover: *cut}
+	if *faults != "" {
+		fs, err := ofar.LoadFaults(*faults)
+		check(err)
+		sc.faults = fs
+	}
 	if sc.svgDir != "" {
 		if err := os.MkdirAll(sc.svgDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -60,17 +67,18 @@ func main() {
 	}
 
 	figs := map[string]func(scale, int){
-		"fig2b":   fig2b,
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"fig5":    fig5,
-		"fig6":    fig6,
-		"fig7":    fig7,
-		"fig8":    fig8,
-		"fig9":    fig9,
-		"bounds":  bounds,
-		"stencil": stencil, // extension: §III application-workload table
-		"fig9m":   fig9m,   // extension: fig9 with the congestion manager
+		"fig2b":       fig2b,
+		"fig3":        fig3,
+		"fig4":        fig4,
+		"fig5":        fig5,
+		"fig6":        fig6,
+		"fig7":        fig7,
+		"fig8":        fig8,
+		"fig9":        fig9,
+		"bounds":      bounds,
+		"stencil":     stencil,     // extension: §III application-workload table
+		"fig9m":       fig9m,       // extension: fig9 with the congestion manager
+		"degradation": degradation, // extension: throughput/p99 vs failed global links
 	}
 	order := []string{"bounds", "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
 	name := strings.ToLower(*fig)
@@ -168,10 +176,38 @@ func cfgFor(sc scale, rt ofar.Routing) ofar.Config {
 	cfg.Workers = sc.workers
 	cfg.ParallelCutover = sc.cutover
 	cfg.Routing = rt
+	cfg.Faults = sc.faults
 	if rt == ofar.MIN || rt == ofar.VAL || rt == ofar.PB || rt == ofar.UGAL {
 		cfg.Ring = ofar.RingNone
 	}
 	return cfg
+}
+
+// degradation measures graceful degradation: OFAR on uniform traffic with
+// an increasing number of failed global links, killed mid-warm-up so the
+// measurement window sees only the degraded network.
+func degradation(sc scale, _ int) {
+	header("Extension — graceful degradation under global-link faults (OFAR)")
+	cfg := cfgFor(sc, ofar.OFAR)
+	cfg.Faults = nil // RunDegradation installs its own schedule per point
+	faultAt := int64(sc.warmup / 2)
+	pts, err := ofar.RunDegradation(cfg, ofar.Uniform(), 0.3, faultAt, 4, sc.warmup, sc.measure)
+	check(err)
+	fmt.Printf("%-12s %12s %12s %12s %10s %10s %10s\n",
+		"failed-links", "throughput", "avg-lat", "p99-lat", "dropped", "reroutes", "flows")
+	ch := &plot.Chart{Title: "Graceful degradation — OFAR, uniform at 0.3",
+		XLabel: "failed global links", YLabel: "normalized to fault-free"}
+	var thr, p99 []plot.Point
+	for _, p := range pts {
+		fmt.Printf("%-12d %12.4f %12.1f %12.1f %10d %10d %10d\n",
+			p.FailedLinks, p.Throughput, p.AvgLatency, p.P99Latency,
+			p.Dropped, p.FaultReroutes, p.AffectedFlows)
+		thr = append(thr, plot.Point{X: float64(p.FailedLinks), Y: p.Throughput / pts[0].Throughput})
+		p99 = append(p99, plot.Point{X: float64(p.FailedLinks), Y: p.P99Latency / pts[0].P99Latency})
+	}
+	ch.Add("throughput", thr)
+	ch.Add("p99 latency", p99)
+	writeChart(sc, "degradation", ch)
 }
 
 func loadSeries(max float64, points int) []float64 {

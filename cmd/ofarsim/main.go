@@ -34,6 +34,7 @@ func main() {
 		nonMin   = flag.Float64("nonmin-factor", 0.9, "OFAR variable threshold factor")
 		static   = flag.Float64("static-th", -1, "OFAR static non-minimal threshold (<0 = variable policy)")
 		escapeTO = flag.Int("escape-timeout", 32, "blocked cycles before requesting the escape ring")
+		faults   = flag.String("faults", "", "fault schedule: a JSON file of Fault objects, or inline like link@5000:12:7,router@20000:3")
 		workers  = flag.Int("workers", 0, "intra-cycle router-stage workers on a persistent pool (0/1 = serial; results are bit-identical)")
 		cutover  = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto-calibrate from -workers)")
 		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
@@ -116,6 +117,13 @@ func main() {
 			}
 		})
 	}
+	if *faults != "" {
+		fs, err := ofar.LoadFaults(*faults)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Faults = fs
+	}
 	if *dumpConf {
 		data, err := ofar.ConfigToJSON(cfg)
 		if err != nil {
@@ -156,6 +164,10 @@ func main() {
 	fmt.Printf("misroutes     : %d global, %d local\n", res.GlobalMisroutes, res.LocalMisroutes)
 	fmt.Printf("escape ring   : %d entries (%.3f%% of delivered), %d exits\n",
 		res.RingEnters, 100*res.EscapeFraction, res.RingExits)
+	if len(cfg.Faults) > 0 {
+		fmt.Printf("faults        : %d scheduled, %d packets dropped, %d fault reroutes, %d flows affected\n",
+			len(cfg.Faults), res.Dropped, res.FaultReroutes, res.AffectedFlows)
+	}
 }
 
 func fatal(format string, args ...any) {

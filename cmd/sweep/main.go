@@ -29,6 +29,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "replicate each point across this many seeds (mean±sd output)")
 		workers = flag.Int("workers", 0, "router-stage pool workers per network (0/1 = serial; bit-identical results)")
 		cutover = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto)")
+		faults  = flag.String("faults", "", "fault schedule: a JSON file of Fault objects, or inline like link@5000:12:7")
 	)
 	flag.Parse()
 
@@ -36,6 +37,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.ParallelCutover = *cutover
+	if *faults != "" {
+		fs, err := ofar.LoadFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fs
+	}
 	cfg.Routing = ofar.Routing(strings.ToUpper(*routing))
 	if cfg.Routing == ofar.PAR {
 		cfg.LocalVCs, cfg.InjVCs = 4, 4
@@ -74,17 +83,17 @@ func main() {
 		}
 		return
 	}
-	fmt.Println("routing,pattern,load,avg_latency,net_latency,p50,p99,throughput,avg_hops,global_mis,local_mis,ring_enters,delivered")
+	fmt.Println("routing,pattern,load,avg_latency,net_latency,p50,p99,throughput,avg_hops,global_mis,local_mis,ring_enters,delivered,dropped,fault_reroutes")
 	for _, load := range loads {
 		r, err := ofar.RunSteady(cfg, ps, load, *warmup, *measure)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s,%s,%.4f,%.2f,%.2f,%.1f,%.1f,%.5f,%.3f,%d,%d,%d,%d\n",
+		fmt.Printf("%s,%s,%.4f,%.2f,%.2f,%.1f,%.1f,%.5f,%.3f,%d,%d,%d,%d,%d,%d\n",
 			r.Routing, r.Pattern, r.Load, r.AvgLatency, r.AvgNetLatency,
 			r.P50Latency, r.P99Latency,
 			r.Throughput, r.AvgHops, r.GlobalMisroutes, r.LocalMisroutes,
-			r.RingEnters, r.Delivered)
+			r.RingEnters, r.Delivered, r.Dropped, r.FaultReroutes)
 	}
 }

@@ -44,3 +44,17 @@ func LoadConfig(path string) (Config, error) {
 	}
 	return ConfigFromJSON(data)
 }
+
+// LoadFaults resolves a -faults argument: a path to a JSON file holding an
+// array of Fault objects, or (when no such file exists) an inline schedule
+// like "link@5000:12:7,router@20000:3".
+func LoadFaults(pathOrSpec string) ([]Fault, error) {
+	if data, err := os.ReadFile(pathOrSpec); err == nil {
+		var fs []Fault
+		if err := json.Unmarshal(data, &fs); err != nil {
+			return nil, fmt.Errorf("ofar: parsing fault file %s: %w", pathOrSpec, err)
+		}
+		return fs, nil
+	}
+	return ParseFaults(pathOrSpec)
+}

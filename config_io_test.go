@@ -3,6 +3,7 @@ package ofar
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -14,6 +15,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg.OFAR.EscapeTimeout = 64
 	cfg.Congestion.Enabled = true
 	cfg.Congestion.Threshold = 0.6
+	cfg.Faults = []Fault{{Cycle: 100, Kind: FaultLink, Router: 2, Port: 4}}
 	data, err := ConfigToJSON(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +24,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back != cfg {
+	if !reflect.DeepEqual(back, cfg) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, cfg)
 	}
 }
@@ -47,7 +49,7 @@ func TestConfigFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back != cfg {
+	if !reflect.DeepEqual(back, cfg) {
 		t.Error("file round trip mismatch")
 	}
 	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {

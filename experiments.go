@@ -31,6 +31,11 @@ type SteadyResult struct {
 	RingEnters      int64
 	RingExits       int64
 
+	// Fault-injection outcomes (zero without a Config.Faults schedule).
+	Dropped       int64
+	FaultReroutes int64
+	AffectedFlows int
+
 	// EscapeFraction is the share of delivered packets that entered the
 	// escape ring — the paper argues it stays tiny (§IV-C, §VII).
 	EscapeFraction float64
@@ -69,6 +74,9 @@ func RunSteady(cfg Config, ps PatternSpec, load float64, warmup, measure int) (S
 		LocalMisroutes:  base.LocalMisroutes - lm0,
 		RingEnters:      base.RingEnters - ringEnters0,
 		RingExits:       base.RingExits - rx0,
+		Dropped:         base.Dropped,
+		FaultReroutes:   base.FaultReroutes,
+		AffectedFlows:   base.AffectedFlows(),
 	}
 	if res.Delivered > 0 {
 		res.EscapeFraction = float64(res.RingEnters) / float64(res.Delivered)
@@ -269,6 +277,64 @@ func RunTransient(cfg Config, before, after PatternSpec, load float64, warmup, r
 		res.Points = append(res.Points, TransientPoint{Cycle: cycle - switchAt, MeanLatency: mean, Count: cnt})
 	}
 	return res, nil
+}
+
+// DegradationPoint is one point of the fault-degradation curve: steady-state
+// performance with a given number of failed global links.
+type DegradationPoint struct {
+	FailedLinks int
+	Throughput  float64 // accepted, phits/(node·cycle)
+	AvgLatency  float64
+	P99Latency  float64
+
+	Dropped       int64 // packets lost to the fault transient
+	FaultReroutes int64 // adaptive decisions forced by a dead minimal port
+	AffectedFlows int   // distinct (src,dst) pairs a fault touched
+}
+
+// RunDegradation measures OFAR's graceful degradation: for each count in
+// 0..maxFailed, the first `count` global links fail at cycle faultAt (during
+// warm-up, so the measurement window sees the degraded network in steady
+// state), and throughput plus tail latency are recorded. Conservation is
+// checked with the explicit Dropped term, so a silently lost packet fails
+// the run rather than flattering the curve.
+func RunDegradation(cfg Config, ps PatternSpec, load float64, faultAt int64, maxFailed, warmup, measure int) ([]DegradationPoint, error) {
+	points := make([]DegradationPoint, 0, maxFailed+1)
+	for count := 0; count <= maxFailed; count++ {
+		c := cfg
+		if count > 0 {
+			faults, err := GlobalLinkFaults(cfg, faultAt, count)
+			if err != nil {
+				return points, err
+			}
+			c.Faults = faults
+		}
+		n, err := network.New(c)
+		if err != nil {
+			return points, err
+		}
+		pattern := ps.build(n.Topo)
+		n.SetGenerator(traffic.NewBernoulli(pattern, load, c.PacketSize))
+		n.Stats.EnableHistogram()
+		n.Run(warmup)
+		n.Stats.StartMeasurement(n.Now())
+		n.Run(measure)
+		err = n.CheckConservation()
+		points = append(points, DegradationPoint{
+			FailedLinks:   count,
+			Throughput:    n.Stats.Throughput(n.Now()),
+			AvgLatency:    n.Stats.AvgLatency(),
+			P99Latency:    n.Stats.LatencyQuantile(0.99),
+			Dropped:       n.Stats.Dropped,
+			FaultReroutes: n.Stats.FaultReroutes,
+			AffectedFlows: n.Stats.AffectedFlows(),
+		})
+		n.Close()
+		if err != nil {
+			return points, err
+		}
+	}
+	return points, nil
 }
 
 // BurstResult is one §VI-C burst-consumption measurement.

@@ -68,6 +68,48 @@ func FuzzParallelConservation(f *testing.F) {
 	})
 }
 
+// FuzzFaultSchedule fuzzes the inline fault-spec grammar and, for every
+// schedule the parser and validator accept on the h=2 network, runs the
+// faulted simulation and asserts packet conservation with the explicit
+// Dropped term — the one invariant teardown must never break, whatever the
+// schedule kills and in whatever order.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add("link@100:0:2", uint64(1))
+	f.Add("router@50:3", uint64(2))
+	f.Add("link@10:0:5,link@10:5:2,router@200:7,router@201:8", uint64(3))
+	f.Add("link@0:0:2,router@0:0", uint64(4)) // cycle-0 faults
+	f.Add("melt@1:2", uint64(5))
+	f.Add("link@-5:0:2", uint64(6))
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		fs, err := ParseFaults(spec)
+		if err != nil || len(fs) > 16 {
+			return
+		}
+		for _, fault := range fs {
+			if fault.Cycle > 400 {
+				return // past the run horizon: proves nothing
+			}
+		}
+		cfg := DefaultConfig(2)
+		cfg.Seed = seed
+		cfg.Faults = fs
+		if err := cfg.Validate(); err != nil {
+			return // out-of-range router/port: a clean rejection
+		}
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatalf("validated schedule failed to build: %v (%q)", err, spec)
+		}
+		defer sim.Close()
+		ps, _ := ParsePattern("UN", cfg.H)
+		sim.SetTraffic(ps, 0.3)
+		sim.Run(500)
+		if err := sim.Network().CheckConservation(); err != nil {
+			t.Fatalf("spec=%q seed=%d: %v", spec, seed, err)
+		}
+	})
+}
+
 func FuzzConfigFromJSON(f *testing.F) {
 	ok, _ := ConfigToJSON(DefaultConfig(2))
 	f.Add(ok)

@@ -337,9 +337,14 @@ func (e *OFAR) pickAmong(rt *router.Router, base, count, exclude int, th float64
 }
 
 // vcFits reports whether the packet's hop-class VC on the given port has
-// credits for it.
+// credits for it. A dead port never fits — this is what turns a failed
+// minimal link into a misrouting trigger under the static policy, which only
+// consults credits (not Busy) when deciding to divert.
 func vcFits(rt *router.Router, port int, p *packet.Packet) bool {
 	op := &rt.Out[port]
+	if op.Dead() {
+		return false
+	}
 	vc := p.GlobalHops
 	if n := op.NumVCs(); vc >= n {
 		vc = n - 1

@@ -5,6 +5,8 @@ package network
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"ofar/internal/core"
 	"ofar/internal/routing"
@@ -47,6 +49,75 @@ const (
 	OFAR  Routing = "OFAR"
 	OFARL Routing = "OFAR-L"
 )
+
+// FaultKind names a class of injected failure.
+type FaultKind string
+
+// Fault kinds.
+const (
+	// FaultLink kills one link: the output port of the named router and the
+	// reverse direction (ring ports are unidirectional and lose only the
+	// named direction).
+	FaultLink FaultKind = "link"
+	// FaultRouter kills a whole router: every attached link, its buffered
+	// packets (except in-flight drains, which complete) and its nodes.
+	FaultRouter FaultKind = "router"
+)
+
+// Fault is one scheduled failure. Faults apply at the top of the cycle
+// `Cycle`, before event delivery and routing, on every execution mode —
+// which is what keeps a faulted run bit-identical across worker counts and
+// scheduler settings.
+type Fault struct {
+	Cycle  int64     `json:"cycle"`
+	Kind   FaultKind `json:"kind"`
+	Router int       `json:"router"`
+	// Port is the failing output port of Router (link faults only). Node
+	// ports cannot fail individually; physical escape-ring ports are
+	// addressed as RouterPorts+ring.
+	Port int `json:"port,omitempty"`
+}
+
+// ParseFaults parses a comma-separated inline fault schedule:
+// "link@CYCLE:ROUTER:PORT" kills one link, "router@CYCLE:ROUTER" a router,
+// e.g. "link@5000:12:7,router@20000:3".
+func ParseFaults(spec string) ([]Fault, error) {
+	var fs []Fault
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("network: fault %q: want KIND@CYCLE:ROUTER[:PORT]", item)
+		}
+		parts := strings.Split(rest, ":")
+		nums := make([]int64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("network: fault %q: %w", item, err)
+			}
+			nums[i] = v
+		}
+		switch FaultKind(kind) {
+		case FaultLink:
+			if len(nums) != 3 {
+				return nil, fmt.Errorf("network: fault %q: link wants CYCLE:ROUTER:PORT", item)
+			}
+			fs = append(fs, Fault{Cycle: nums[0], Kind: FaultLink, Router: int(nums[1]), Port: int(nums[2])})
+		case FaultRouter:
+			if len(nums) != 2 {
+				return nil, fmt.Errorf("network: fault %q: router wants CYCLE:ROUTER", item)
+			}
+			fs = append(fs, Fault{Cycle: nums[0], Kind: FaultRouter, Router: int(nums[1])})
+		default:
+			return nil, fmt.Errorf("network: fault %q: unknown kind %q", item, kind)
+		}
+	}
+	return fs, nil
+}
 
 // Config describes one simulated network. DefaultConfig returns the paper's
 // §V parameters.
@@ -113,6 +184,11 @@ type Config struct {
 	// head), so results are bit-identical either way; this escape hatch
 	// exists for differential testing and benchmarking, not correctness.
 	DisableActivitySched bool
+
+	// Faults is the deterministic failure schedule: each entry kills a link
+	// or a whole router at the top of its cycle. The schedule is applied in
+	// (Cycle, Kind, Router, Port) order regardless of the order given here.
+	Faults []Fault
 
 	// Congestion is the optional injection-throttling congestion manager
 	// (§VII lists congestion management as ongoing work; Fig. 9 shows the
@@ -201,6 +277,30 @@ func (c *Config) Validate() error {
 	}
 	if c.Congestion.Enabled && (c.Congestion.Threshold < 0 || c.Congestion.Threshold > 1) {
 		return fmt.Errorf("network: congestion threshold %f outside [0,1]", c.Congestion.Threshold)
+	}
+	if len(c.Faults) > 0 {
+		groups := c.Groups
+		if groups == 0 {
+			groups = c.A*c.H + 1
+		}
+		routers := groups * c.A
+		nPorts := c.P + c.A - 1 + c.H
+		if c.Ring == RingPhysical {
+			nPorts += c.NumRings
+		}
+		for i, f := range c.Faults {
+			switch {
+			case f.Cycle < 0:
+				return fmt.Errorf("network: fault %d: negative cycle %d", i, f.Cycle)
+			case f.Kind != FaultLink && f.Kind != FaultRouter:
+				return fmt.Errorf("network: fault %d: unknown kind %q", i, f.Kind)
+			case f.Router < 0 || f.Router >= routers:
+				return fmt.Errorf("network: fault %d: router %d outside [0,%d)", i, f.Router, routers)
+			case f.Kind == FaultLink && (f.Port < c.P || f.Port >= nPorts):
+				return fmt.Errorf("network: fault %d: port %d outside [%d,%d) (node ports cannot fail individually)",
+					i, f.Port, c.P, nPorts)
+			}
+		}
 	}
 	switch c.Routing {
 	case MIN, VAL, PB, UGAL:

@@ -25,6 +25,7 @@ type goldenDoc struct {
 	Seed    uint64       `json:"seed"`
 	Load    float64      `json:"load"`
 	Cycles  int          `json:"cycles"`
+	Faults  []Fault      `json:"faults,omitempty"`
 	Events  int64        `json:"events"`
 	Digest  string       `json:"digest"`
 	Head    []GrantEvent `json:"head"`
@@ -35,12 +36,13 @@ const (
 	goldenHead   = 256
 )
 
-func goldenRun(t *testing.T, load float64, workers int, noSched bool) []byte {
+func goldenRun(t *testing.T, load float64, workers int, noSched bool, faults []Fault) []byte {
 	t.Helper()
 	cfg := DefaultConfig(3)
 	cfg.Seed = 12345
 	cfg.Workers = workers
 	cfg.DisableActivitySched = noSched
+	cfg.Faults = faults
 	n := mustNet(t, cfg)
 	defer n.Close()
 	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
@@ -53,6 +55,7 @@ func goldenRun(t *testing.T, load float64, workers int, noSched bool) []byte {
 		Seed:    cfg.Seed,
 		Load:    load,
 		Cycles:  goldenCycles,
+		Faults:  faults,
 		Events:  events,
 		Digest:  fmt.Sprintf("%016x", digest),
 		Head:    n.GrantLog(),
@@ -68,9 +71,9 @@ func goldenRun(t *testing.T, load float64, workers int, noSched bool) []byte {
 // golden file, rewriting the file first when -update-golden is set (only the
 // serial scheduler-on variant rewrites, so a divergence between variants
 // still fails).
-func checkGolden(t *testing.T, path string, load float64) {
+func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
 	t.Helper()
-	base := goldenRun(t, load, 0, false)
+	base := goldenRun(t, load, 0, false, faults)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -97,7 +100,7 @@ func checkGolden(t *testing.T, path string, load float64) {
 	for _, v := range variants {
 		got := base
 		if v.workers != 0 || v.noSched {
-			got = goldenRun(t, load, v.workers, v.noSched)
+			got = goldenRun(t, load, v.workers, v.noSched, faults)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+
@@ -118,7 +121,7 @@ func TestGoldenTraceH3(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
 	}
-	checkGolden(t, filepath.Join("testdata", "golden_h3.json"), 0.2)
+	checkGolden(t, filepath.Join("testdata", "golden_h3.json"), 0.2, nil)
 }
 
 // TestGoldenTraceH3LowLoad pins the same contract in the regime the
@@ -130,5 +133,21 @@ func TestGoldenTraceH3LowLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
 	}
-	checkGolden(t, filepath.Join("testdata", "golden_h3_low.json"), 0.05)
+	checkGolden(t, filepath.Join("testdata", "golden_h3_low.json"), 0.05, nil)
+}
+
+// TestGoldenTraceH3Faults pins the faulted event stream: the same h=3 OFAR
+// run with one global link killed at cycle 500. The digest covers every
+// grant, delivery and fault-drop (tag 2), so any change to the teardown
+// ordering, the liveness masks or the degraded routing path breaks
+// byte-equality — across all four engine variants.
+func TestGoldenTraceH3Faults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
+	}
+	faults, err := GlobalLinkFaults(DefaultConfig(3), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_h3_faults.json"), 0.2, faults)
 }

@@ -108,6 +108,45 @@ func TestMisrouteFlagLifecycle(t *testing.T) {
 	}
 }
 
+// TestConservationUnderRandomFaults: whatever valid schedule is thrown at
+// the network — links and routers, early and late, clustered or spread —
+// Generated == Delivered + Dropped + in-network holds at every scale tried.
+func TestConservationUnderRandomFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := testConfig(OFAR)
+		cfg.Seed = seed
+		// Derive a small deterministic schedule from the seed: two link
+		// faults and one router fault at staggered cycles.
+		topoPorts := cfg.P + cfg.A - 1 + cfg.H
+		routers := (cfg.A*cfg.H + 1) * cfg.A
+		linkPorts := topoPorts - cfg.P // local+global ports per router
+		x := seed * 2654435761
+		pick := func(k uint64, mod int) int { return int((x >> (8 * k)) % uint64(mod)) }
+		cfg.Faults = []Fault{
+			{Cycle: 200 + int64(pick(0, 800)), Kind: FaultLink,
+				Router: pick(1, routers), Port: cfg.P + pick(2, linkPorts)},
+			{Cycle: 200 + int64(pick(3, 800)), Kind: FaultLink,
+				Router: pick(4, routers), Port: cfg.P + pick(5, linkPorts)},
+			{Cycle: 1000 + int64(pick(6, 500)), Kind: FaultRouter, Router: pick(7, routers)},
+		}
+		n, err := New(cfg)
+		if err != nil {
+			// A schedule may name an unwired global port; that is a clean
+			// validation error, not a conservation case.
+			continue
+		}
+		n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), 0.3, cfg.PacketSize))
+		n.Run(4000)
+		if err := n.CheckConservation(); err != nil {
+			t.Errorf("seed %d (faults %+v): %v", seed, cfg.Faults, err)
+		}
+		if n.Stats.Delivered == 0 {
+			t.Errorf("seed %d: nothing delivered", seed)
+		}
+		n.Close()
+	}
+}
+
 // TestRingEnterExitBalance: packets on the ring either exit or get
 // delivered from it; the enter/exit difference is bounded by the packets
 // currently riding.

@@ -55,6 +55,15 @@ type Network struct {
 	congestionOn bool
 	congestionTh float64
 
+	// Fault injection (Config.Faults): the schedule sorted by firing order,
+	// the cursor of the next unapplied fault, and the liveness masks the
+	// event loop consults. The masks are nil when no faults are configured,
+	// keeping the fault-free hot path untouched.
+	faults     []Fault
+	faultIdx   int
+	deadRouter []bool
+	deadNode   []bool
+
 	// Parallel router stage (Config.Workers > 1): a persistent worker pool
 	// (see pool.go), per-worker engines (clones when the engine carries
 	// scratch state), the per-router grant buffers the compute phase fills
@@ -326,6 +335,11 @@ func New(cfg Config) (*Network, error) {
 	for r := range n.allIdx {
 		n.allIdx[r] = int32(r)
 	}
+	if len(cfg.Faults) > 0 {
+		if err := n.prepareFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	n.workers = cfg.Workers
 	if n.workers > topo.Routers {
 		n.workers = topo.Routers
@@ -402,6 +416,9 @@ func (n *Network) Now() int64 { return n.now }
 // pay for itself.
 func (n *Network) Step() {
 	now := n.now
+	if n.faultIdx < len(n.faults) {
+		n.applyDueFaults(now)
+	}
 	for _, ev := range n.wheel.Advance() {
 		n.handle(ev, now)
 	}
@@ -501,9 +518,9 @@ func (n *Network) Run(cycles int) {
 }
 
 // Drained reports whether the generator is exhausted and every generated
-// packet was delivered.
+// packet was delivered or explicitly dropped by a fault.
 func (n *Network) Drained() bool {
-	return n.gen.Done() && n.Stats.Generated == n.Stats.Delivered
+	return n.gen.Done() && n.Stats.Generated == n.Stats.Delivered+n.Stats.Dropped
 }
 
 // RunUntilDrained steps until the generator is exhausted and every packet
@@ -523,6 +540,7 @@ type Trace struct {
 	Src, Dst int
 	Hops     []TraceHop
 	Done     bool
+	Dropped  bool // lost to an injected fault
 }
 
 // TraceHop is one crossbar transfer: the router, the output port taken and
@@ -616,6 +634,25 @@ func (n *Network) handle(ev event, now int64) {
 	switch ev.kind {
 	case evArrive:
 		n.inFlight--
+		if n.deadRouter != nil && n.deadRouter[ev.r] {
+			// The packet was launched before the router died; the link
+			// delivered it into a void. No credit refund: the upstream port
+			// is dead and its counters are frozen.
+			n.dropPacket(ev.pkt, now)
+			return
+		}
+		if n.deadNode != nil && n.deadNode[ev.pkt.Dst] {
+			// The destination died while the packet was en route. Drop it
+			// here rather than let it chase an unreachable ejection port —
+			// with a synthesized refund, since the buffer space it reserved
+			// on this live router is never consumed.
+			up := &n.Routers[ev.r].In[ev.port]
+			if up.UpRouter >= 0 {
+				n.wheel.Schedule(0, event{kind: evCredit, r: int32(up.UpRouter), port: int16(up.UpPort), vc: ev.vc, phits: int32(ev.pkt.Size)})
+			}
+			n.dropPacket(ev.pkt, now)
+			return
+		}
 		n.Routers[ev.r].Arrive(int(ev.port), int(ev.vc), ev.pkt)
 		if n.schedOn {
 			n.wake(ev.r)
@@ -637,7 +674,11 @@ func (n *Network) handle(ev event, now int64) {
 			// keeps the conservation accounting exact.
 			n.inFlight++
 		}
-		if upR >= 0 {
+		if upR >= 0 && (n.deadRouter == nil || !n.deadRouter[ev.r]) {
+			// Dead routers return no credits: their upstream ports are dead
+			// with frozen counters — except a re-formed ring predecessor,
+			// whose counters were re-derived against the new downstream
+			// buffer and must not absorb refunds for the old one.
 			lat := n.Routers[upR].Out[upP].Latency
 			n.wheel.Schedule(lat-1, event{kind: evCredit, r: int32(upR), port: int16(upP), vc: ev.vc, phits: int32(p.Size)})
 		}
@@ -659,9 +700,22 @@ func (n *Network) handle(ev event, now int64) {
 func (n *Network) generate(now int64) {
 	topo := n.Topo
 	for node := 0; node < topo.Nodes; node++ {
+		if n.deadNode != nil && n.deadNode[node] {
+			continue // dead sources neither draw traffic nor inject
+		}
 		pq := &n.pending[node]
 		if dst, ok := n.gen.Next(n.trafficRNG, node, now); ok {
-			if pq.len() >= n.Cfg.PendingCap {
+			if n.deadNode != nil && n.deadNode[dst] {
+				// The destination is down; the source learns immediately
+				// (its NIC would). Generated and Dropped move together so
+				// conservation holds without allocating a packet.
+				n.Stats.Generated++
+				n.Stats.Dropped++
+				n.Stats.NoteAffectedFlow(node, dst)
+				if n.digestOn {
+					n.fold(2, now, int64(node), int64(dst), now)
+				}
+			} else if pq.len() >= n.Cfg.PendingCap {
 				n.gen.Retract(node)
 				n.Stats.SourceBlocked++
 			} else {
@@ -745,6 +799,13 @@ func (n *Network) commit(r *router.Router, g *router.Grant, now int64) {
 	if g.Req.Escape && !g.Req.EnterRing {
 		n.Stats.RingHops++
 	}
+	if n.faultIdx > 0 && (g.Req.SetGlobalMis || g.Req.SetLocalMis || g.Req.EnterRing) &&
+		r.OutputDead(n.Topo.MinimalPort(r.ID, p.Dst)) {
+		// The packet left its minimal path while the minimal output here is
+		// dead: the fault, not ordinary congestion, forced the detour.
+		n.Stats.FaultReroutes++
+		n.Stats.NoteAffectedFlow(p.Src, p.Dst)
+	}
 }
 
 // FailRingEdge breaks escape ring `ring` at the outgoing edge of `router`
@@ -798,12 +859,13 @@ func (n *Network) PendingPackets() int {
 func (n *Network) InFlightPackets() int { return n.inFlight }
 
 // CheckConservation verifies that every generated packet is accounted for:
-// delivered, waiting at a source, buffered in a router, or on a link.
+// delivered, explicitly dropped by a fault, waiting at a source, buffered in
+// a router, or on a link.
 func (n *Network) CheckConservation() error {
 	inNet := int64(n.BufferedPackets() + n.InFlightPackets() + n.PendingPackets())
-	if n.Stats.Generated != n.Stats.Delivered+inNet {
-		return fmt.Errorf("network: conservation violated: generated=%d delivered=%d in-system=%d",
-			n.Stats.Generated, n.Stats.Delivered, inNet)
+	if n.Stats.Generated != n.Stats.Delivered+n.Stats.Dropped+inNet {
+		return fmt.Errorf("network: conservation violated: generated=%d delivered=%d dropped=%d in-system=%d",
+			n.Stats.Generated, n.Stats.Delivered, n.Stats.Dropped, inNet)
 	}
 	return nil
 }

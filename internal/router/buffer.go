@@ -77,6 +77,31 @@ func (b *VCBuffer) Push(p *packet.Packet) {
 	b.occupied += p.Size
 }
 
+// DropQueued removes every queued packet except a draining head (whose
+// phits are already committed to the crossbar and must finish via
+// FinishDrain), calling visit for each removed packet. Used when a router
+// fails: its buffered traffic is lost and must be accounted explicitly.
+func (b *VCBuffer) DropQueued(visit func(*packet.Packet)) {
+	if b.Len() == 0 {
+		return
+	}
+	start := b.head
+	if b.draining {
+		start++ // the in-flight head survives until its FinishDrain
+	}
+	for i := start; i < len(b.q); i++ {
+		p := b.q[i]
+		b.occupied -= p.Size
+		b.q[i] = nil
+		visit(p)
+	}
+	b.q = b.q[:start]
+	if start == b.head && b.head > 0 {
+		b.q = b.q[:0]
+		b.head = 0
+	}
+}
+
 // BeginDrain marks the head as granted; it stays at the head (consuming
 // space) until FinishDrain.
 func (b *VCBuffer) BeginDrain() {

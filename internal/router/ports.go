@@ -43,6 +43,10 @@ type OutPort struct {
 
 	busyUntil int64
 
+	// dead marks a failed link: a dead port is permanently Busy, so no
+	// allocator or engine ever grants it again. Credits are frozen as-is.
+	dead bool
+
 	// canonical aggregates for the occupancy percentage used by adaptive
 	// routing thresholds (escape VCs excluded).
 	canCap     int
@@ -65,7 +69,29 @@ func (op *OutPort) initOut(caps []int, escRing []int8) {
 }
 
 // Busy reports whether the port is still serializing a previous grant.
-func (op *OutPort) Busy(now int64) bool { return op.busyUntil > now }
+// Dead ports are permanently busy: every grant path — engine VC selection,
+// allocator arbitration, escape-ring advance — already consults Busy, so
+// folding liveness in here is what keeps dead links unreachable everywhere.
+func (op *OutPort) Busy(now int64) bool { return op.dead || op.busyUntil > now }
+
+// Dead reports whether the link behind this port has failed.
+func (op *OutPort) Dead() bool { return op.dead }
+
+// Fail marks the link behind this port as failed.
+func (op *OutPort) Fail() { op.dead = true }
+
+// SetCredits overwrites one VC's credit counter during structural surgery
+// (escape-ring re-formation retargets a port to a new downstream buffer and
+// must re-derive its free space). Maintains the canonical aggregate.
+func (op *OutPort) SetCredits(vc, credits int) {
+	if credits < 0 || credits > op.vcCap[vc] {
+		panic("router: SetCredits outside [0, cap]")
+	}
+	if op.escRing[vc] < 0 {
+		op.canCredits += credits - op.credits[vc]
+	}
+	op.credits[vc] = credits
+}
 
 // NumVCs returns the number of downstream VCs.
 func (op *OutPort) NumVCs() int { return len(op.credits) }

@@ -213,13 +213,53 @@ func (r *Router) Avail(port, size int, now int64) (int, bool) {
 }
 
 // VCFits reports whether a specific downstream VC has credits for size phits
-// (ejection ports always fit).
+// (ejection ports always fit). Dead ports never fit: frozen credits would
+// otherwise keep looking available forever.
 func (r *Router) VCFits(port, vc, size int) bool {
 	op := &r.Out[port]
+	if op.dead {
+		return false
+	}
 	if op.Kind == topology.PortNode {
 		return true
 	}
 	return op.Credits(vc) >= size
+}
+
+// FailOutput marks one output port's link as failed: the port becomes
+// permanently busy and is never granted again. PB flags of a dead global
+// link must republish as congested, so the router is marked dirty.
+func (r *Router) FailOutput(port int) {
+	r.Out[port].Fail()
+	if r.pb != nil && r.Out[port].Kind == topology.PortGlobal {
+		r.pbDirty = true
+	}
+}
+
+// OutputDead reports whether an output port's link has failed.
+func (r *Router) OutputDead(port int) bool {
+	return port >= 0 && port < len(r.Out) && r.Out[port].dead
+}
+
+// DropBuffered discards every packet buffered in this router's input VCs,
+// except heads that already won allocation and are draining (their phits are
+// on the crossbar; the pending FinishDrain completes them). Routable heads
+// that are dropped decrement the activity counter. Used when the whole
+// router fails.
+func (r *Router) DropBuffered(visit func(*packet.Packet)) {
+	for i := range r.In {
+		for vc := range r.In[i].VCs {
+			buf := &r.In[i].VCs[vc]
+			if buf.Len() > 0 && !buf.Draining() {
+				r.readyVCs-- // the routable head is among the dropped
+			}
+			before := buf.Occupied()
+			buf.DropQueued(visit)
+			if !buf.Escape {
+				r.occPhits -= before - buf.Occupied()
+			}
+		}
+	}
 }
 
 // NumRings returns the number of escape rings configured on this router.
@@ -278,7 +318,7 @@ func (r *Router) UpdatePBFlags(now int64) {
 		if op.Kind == topology.PortNone {
 			continue
 		}
-		r.pb.Set(now, rl*r.Topo.H+k, op.Occupancy() >= r.pbThreshold)
+		r.pb.Set(now, rl*r.Topo.H+k, op.dead || op.Occupancy() >= r.pbThreshold)
 	}
 	r.pbDirty = false
 }
@@ -408,6 +448,9 @@ func (r *Router) CheckCredits(routers []*Router, inFlight func(router, port, vc 
 		if op.Kind == topology.PortNode || op.Kind == topology.PortNone {
 			continue
 		}
+		if op.dead {
+			continue // frozen by a fault; never consulted again
+		}
 		peer := routers[op.Peer]
 		for vc := range op.credits {
 			missing := op.vcCap[vc] - op.credits[vc]
@@ -474,6 +517,7 @@ func (r *Router) StateFingerprint() uint64 {
 		}
 		op := &r.Out[i]
 		mix(uint64(op.busyUntil))
+		mixb(op.dead)
 		for vc := range op.credits {
 			mix(uint64(op.credits[vc]))
 		}

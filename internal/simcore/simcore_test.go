@@ -155,6 +155,49 @@ func TestWheelWrapsAround(t *testing.T) {
 	}
 }
 
+// TestWheelScheduleDuringAdvanceIteration schedules at delay == horizon —
+// the slot that Advance just drained — while iterating the returned slice.
+// With the old slot-aliasing Advance, those appends wrote into the backing
+// array of the slice being iterated: scheduling two events per consumed
+// event overtakes the read position and corrupts the not-yet-read tail.
+func TestWheelScheduleDuringAdvanceIteration(t *testing.T) {
+	const horizon = 4
+	w := NewWheel[int](horizon)
+	w.Schedule(0, 1)
+	w.Schedule(0, 2)
+	w.Schedule(0, 3)
+	due := w.Advance()
+	var got []int
+	for i := 0; i < len(due); i++ {
+		got = append(got, due[i])
+		w.Schedule(horizon, 100+due[i])
+		w.Schedule(horizon, 200+due[i])
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("due slice corrupted by Schedule during iteration: %v", got)
+	}
+	// The rescheduled events must arrive intact horizon cycles later:
+	// delay d is delivered on the (d+1)-th Advance after scheduling.
+	for i := 0; i < horizon; i++ {
+		if evs := w.Advance(); len(evs) != 0 {
+			t.Fatalf("early delivery %v", evs)
+		}
+	}
+	evs := w.Advance()
+	want := []int{101, 201, 102, 202, 103, 203}
+	if len(evs) != len(want) {
+		t.Fatalf("rescheduled events lost: %v", evs)
+	}
+	for i, v := range want {
+		if evs[i] != v {
+			t.Fatalf("rescheduled events corrupted: got %v, want %v", evs, want)
+		}
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending=%d", w.Pending())
+	}
+}
+
 func TestWheelPanicsOutsideHorizon(t *testing.T) {
 	w := NewWheel[int](5)
 	defer func() {

@@ -7,6 +7,7 @@ package simcore
 // bug rather than a runtime condition.
 type Wheel[T any] struct {
 	slots [][]T
+	due   []T // recycled arena returned by Advance; never aliases a slot
 	now   int64
 	count int
 }
@@ -31,15 +32,53 @@ func (w *Wheel[T]) Schedule(delay int, ev T) {
 }
 
 // Advance moves the wheel one cycle forward and returns the events due now.
-// The returned slice is owned by the wheel and valid until the slot wraps
-// (horizon cycles later); callers must consume it before the next wrap.
+// The returned slice is valid until the next Advance call and is safe to
+// iterate while calling Schedule — including at delay == horizon, which
+// lands in the slot just drained. (Returning the slot itself would alias
+// its backing array with such appends and corrupt the in-progress
+// iteration.) The slice is copied into a recycled arena, so steady-state
+// Advance does not allocate.
 func (w *Wheel[T]) Advance() []T {
 	idx := int(w.now) % len(w.slots)
-	due := w.slots[idx]
-	w.slots[idx] = w.slots[idx][:0]
+	slot := w.slots[idx]
+	w.slots[idx] = slot[:0]
 	w.now++
-	w.count -= len(due)
-	return due
+	w.count -= len(slot)
+	w.due = append(w.due[:0], slot...)
+	return w.due
+}
+
+// ForEach visits every scheduled-but-undelivered event in an unspecified
+// order. It exists for rare structural surgery (fault injection inspects
+// in-flight traffic on a dying link); do not mutate the wheel during the
+// walk.
+func (w *Wheel[T]) ForEach(f func(T)) {
+	for _, slot := range w.slots {
+		for _, ev := range slot {
+			f(ev)
+		}
+	}
+}
+
+// Filter removes every scheduled event for which keep returns false,
+// preserving the relative order of the survivors within each slot (and
+// therefore their delivery order). Same audience as ForEach: structural
+// surgery on faults, not the per-cycle hot path.
+func (w *Wheel[T]) Filter(keep func(T) bool) {
+	var zero T
+	for i, slot := range w.slots {
+		kept := slot[:0]
+		for _, ev := range slot {
+			if keep(ev) {
+				kept = append(kept, ev)
+			}
+		}
+		w.count -= len(slot) - len(kept)
+		for j := len(kept); j < len(slot); j++ {
+			slot[j] = zero // drop references held by removed events
+		}
+		w.slots[i] = kept
+	}
 }
 
 // Pending reports how many events are scheduled but not yet delivered.

@@ -32,7 +32,15 @@ func NewHistogram(base float64) *Histogram {
 func (h *Histogram) Add(v float64) {
 	i := 0
 	if v > h.base {
-		i = int(math.Log2(v / h.base))
+		// Frexp decomposes v/base into frac·2^exp with frac in [0.5, 1),
+		// so the ratio lies in [2^(exp-1), 2^exp) and the bucket index is
+		// exp-1. Unlike int(Log2(ratio)), this is exact at bucket
+		// boundaries: Log2 of a ratio one ulp below 2^k rounds to exactly
+		// k and shifts the sample into the wrong bucket.
+		_, exp := math.Frexp(v / h.base)
+		if i = exp - 1; i < 0 {
+			i = 0
+		}
 	}
 	for len(h.buckets) <= i {
 		h.buckets = append(h.buckets, 0)

@@ -60,6 +60,49 @@ func TestHistogramQuantileMonotonic(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaries sweeps every power-of-two bucket boundary
+// v = base·2^k and its ±1ulp neighbours: the boundary itself and the value
+// one ulp above belong to bucket k, the value one ulp below to bucket k-1.
+// The former int(math.Log2(v/base)) formula failed this for the just-below
+// neighbour — Log2 rounds to exactly k there, shifting the sample across
+// the boundary.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bucketOf := func(h *Histogram) int {
+		idx, hits := -1, 0
+		for i, c := range h.buckets {
+			if c != 0 {
+				idx = i
+				hits += int(c)
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("want exactly one occupied bucket, found %d samples", hits)
+		}
+		return idx
+	}
+	for _, base := range []float64{1, 3, 8, 10, 0.3} {
+		for k := 1; k < 45; k++ {
+			bound := base * math.Ldexp(1, k) // exact: scaling by 2^k
+			cases := []struct {
+				v    float64
+				want int
+			}{
+				{math.Nextafter(bound, 0), k - 1},
+				{bound, k},
+				{math.Nextafter(bound, math.Inf(1)), k},
+			}
+			for _, tc := range cases {
+				h := NewHistogram(base)
+				h.Add(tc.v)
+				if got := bucketOf(h); got != tc.want {
+					t.Fatalf("base=%v k=%d v=%v: bucket %d, want %d",
+						base, k, tc.v, got, tc.want)
+				}
+			}
+		}
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram(8)
 	if !strings.Contains(h.String(), "empty") {
@@ -140,5 +183,32 @@ func TestSummarizeUtilization(t *testing.T) {
 	}
 	if s.P95 != 0.9 {
 		t.Errorf("p95=%f", s.P95)
+	}
+}
+
+// TestSummarizeUtilizationP95NotMax pins the nearest-rank definition on a
+// 20-link skewed distribution (19 cool links, one hotspot): the 95th
+// percentile is the 19th smallest sample, strictly below the hotspot. The
+// former Ceil(0.95·(n-1)) index collapsed P95 to Max for every n ≤ 20.
+func TestSummarizeUtilizationP95NotMax(t *testing.T) {
+	counters := make([]int64, 20)
+	for i := range counters {
+		counters[i] = int64(100 + i) // 0.100..0.119 at 1000 cycles
+	}
+	counters[19] = 900 // the hotspot
+	s := SummarizeUtilization(counters, 1000)
+	if s.Max != 0.9 {
+		t.Fatalf("max=%f", s.Max)
+	}
+	if s.P95 >= s.Max {
+		t.Fatalf("p95=%f collapsed to max=%f on a 20-link set", s.P95, s.Max)
+	}
+	if s.P95 != 0.118 {
+		t.Errorf("p95=%f, want 0.118 (19th smallest of 20)", s.P95)
+	}
+	// Degenerate sizes stay in range.
+	one := SummarizeUtilization([]int64{500}, 1000)
+	if one.P95 != 0.5 {
+		t.Errorf("single link p95=%f", one.P95)
 	}
 }

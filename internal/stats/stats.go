@@ -24,6 +24,16 @@ type Run struct {
 	RingExits       int64
 	RingHops        int64
 
+	// Fault-injection counters. Dropped counts packets lost to a fault
+	// (buffered in a dying router, addressed to a dead node, or arriving at
+	// a dead router); it joins Delivered in the conservation identity.
+	// FaultReroutes counts adaptive decisions taken because the minimal
+	// output port was dead.
+	Dropped       int64
+	FaultReroutes int64
+
+	affected map[uint64]struct{} // flows (src,dst) touched by a fault
+
 	// Measurement window.
 	measuring    bool
 	measureStart int64
@@ -46,6 +56,18 @@ type Run struct {
 func NewRun(nodes, packetSize int) *Run {
 	return &Run{Nodes: nodes, PacketSize: packetSize}
 }
+
+// NoteAffectedFlow records that a fault touched the (src, dst) flow —
+// a packet of the flow was dropped or rerouted around a dead port.
+func (r *Run) NoteAffectedFlow(src, dst int) {
+	if r.affected == nil {
+		r.affected = make(map[uint64]struct{})
+	}
+	r.affected[uint64(uint32(src))<<32|uint64(uint32(dst))] = struct{}{}
+}
+
+// AffectedFlows returns how many distinct (src, dst) flows a fault touched.
+func (r *Run) AffectedFlows() int { return len(r.affected) }
 
 // EnableSeries starts collecting the per-send-cycle latency series with the
 // given bucket width in cycles.

@@ -35,7 +35,14 @@ func SummarizeUtilization(counters []int64, cycles int64) UtilizationSummary {
 	}
 	sort.Float64s(utils)
 	s.Mean = sum / float64(len(utils))
-	idx := int(math.Ceil(0.95 * float64(len(utils)-1)))
+	// Nearest-rank percentile: the P95 is the Ceil(0.95·n)-th smallest
+	// sample (1-based). The former Ceil(0.95·(n-1)) indexed the last
+	// element for every n ≤ 20, silently collapsing P95 to Max on all
+	// small link classes.
+	idx := int(math.Ceil(0.95*float64(len(utils)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
 	s.P95 = utils[idx]
 	if s.Mean > 0 {
 		s.Imbalance = s.Max / s.Mean

@@ -276,6 +276,63 @@ func (d *Dragonfly) ringFromOrder(order []int, off int) *Ring {
 	return rg
 }
 
+// ReformWithout returns a new ring with router `remove` spliced out: the
+// surviving order is unchanged except that remove's predecessor now feeds
+// remove's successor directly. This is the degraded-mode escape path after a
+// router failure — the bubble condition on a ring is order-independent, so
+// the shorter cycle stays deadlock-free. The splice edge need not correspond
+// to a canonical link (predecessor and successor can sit in arbitrary
+// groups); it is realizable on a physical ring, whose dedicated ports can be
+// retargeted, and its EmbeddedPort is -1 when no canonical link matches.
+func (d *Dragonfly) ReformWithout(rg *Ring, remove int) (*Ring, error) {
+	if remove < 0 || remove >= len(rg.pos) {
+		return nil, fmt.Errorf("topology: router %d not on the ring", remove)
+	}
+	if len(rg.Order) <= 3 {
+		return nil, fmt.Errorf("topology: ring of %d routers cannot lose one", len(rg.Order))
+	}
+	order := make([]int, 0, len(rg.Order)-1)
+	for _, r := range rg.Order {
+		if r != remove {
+			order = append(order, r)
+		}
+	}
+	if len(order) != len(rg.Order)-1 {
+		return nil, fmt.Errorf("topology: router %d not on the ring", remove)
+	}
+	nr := &Ring{
+		Order:  order,
+		Offset: rg.Offset,
+		next:   make([]int32, d.Routers),
+		pos:    make([]int32, d.Routers),
+		port:   make([]int32, d.Routers),
+		glob:   make([]bool, d.Routers),
+	}
+	for r := range nr.next {
+		nr.next[r], nr.pos[r], nr.port[r] = -1, -1, -1
+	}
+	n := len(order)
+	for i, r := range order {
+		nxt := order[(i+1)%n]
+		nr.pos[r] = int32(i)
+		nr.next[r] = int32(nxt)
+		if int(rg.next[r]) == nxt {
+			// Surviving edge: keep the original realization.
+			nr.port[r] = rg.port[r]
+			nr.glob[r] = rg.glob[r]
+			continue
+		}
+		// The splice edge prev(remove) → next(remove).
+		nr.glob[r] = d.GroupOf(r) != d.GroupOf(nxt)
+		if !nr.glob[r] {
+			nr.port[r] = int32(d.LocalPortTo(r, nxt))
+		} else if er, port := d.GlobalEntry(d.GroupOf(r), d.GroupOf(nxt)); er == r {
+			nr.port[r] = int32(port)
+		}
+	}
+	return nr, nil
+}
+
 // markEdges records the undirected local edges of a within-group path (or
 // cycle) as used.
 func markEdges(set map[int]bool, path []int, a int, cycle bool) {

@@ -44,6 +44,10 @@ type (
 	Topology = topology.Dragonfly
 	// RunStats is the raw statistics sink of a simulation.
 	RunStats = stats.Run
+	// Fault is one scheduled link or router failure (Config.Faults).
+	Fault = network.Fault
+	// FaultKind names a class of injected failure.
+	FaultKind = network.FaultKind
 )
 
 // Escape-subnetwork realizations.
@@ -63,6 +67,22 @@ const (
 	OFAR  = network.OFAR
 	OFARL = network.OFARL
 )
+
+// Fault kinds.
+const (
+	FaultLink   = network.FaultLink
+	FaultRouter = network.FaultRouter
+)
+
+// ParseFaults parses an inline fault schedule such as
+// "link@5000:12:7,router@20000:3"; see network.ParseFaults.
+func ParseFaults(spec string) ([]Fault, error) { return network.ParseFaults(spec) }
+
+// GlobalLinkFaults builds a schedule killing the first count global links at
+// the given cycle (the degradation experiment's workload).
+func GlobalLinkFaults(cfg Config, cycle int64, count int) ([]Fault, error) {
+	return network.GlobalLinkFaults(cfg, cycle, count)
+}
 
 // DefaultConfig returns the paper's §V configuration for a balanced
 // maximum-size dragonfly with the given h (the paper evaluates h = 6:
