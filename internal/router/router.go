@@ -91,7 +91,6 @@ type Router struct {
 	outArb     []LRS
 	reqs       []reqSlot
 	vcBase     []int32
-	cands      []int32 // per input port: flattened req index (-1)
 	candVC     []int32
 	outCand    [][]int32 // per output port: candidate input ports
 	touchedOut []int32
@@ -126,7 +125,6 @@ func New(p Params) *Router {
 	r.inArb = make([]LRS, n)
 	r.outArb = make([]LRS, n)
 	r.vcBase = make([]int32, n+1)
-	r.cands = make([]int32, n)
 	r.candVC = make([]int32, n)
 	r.outCand = make([][]int32, n)
 	r.matchedIn = make([]bool, n)
@@ -531,6 +529,14 @@ func (r *Router) StateFingerprint() uint64 {
 // the iterative separable switch allocation, committing the winners. It
 // returns the cycle's grants; the returned slice is reused next cycle.
 func (r *Router) Cycle(engine Engine, now int64) []Grant {
+	// Clear the match state left by the previous cycle. Each grant set
+	// exactly one matchedIn and one matchedOut entry, so last cycle's grant
+	// list enumerates every set bit — no full-slice wipe needed.
+	for i := range r.grants {
+		g := &r.grants[i]
+		r.matchedIn[g.InPort] = false
+		r.matchedOut[g.Req.Out] = false
+	}
 	r.grants = r.grants[:0]
 	anyReq := false
 	for ip := range r.In {
@@ -567,17 +573,12 @@ func (r *Router) Cycle(engine Engine, now int64) []Grant {
 		return r.grants
 	}
 
-	for i := range r.matchedIn {
-		r.matchedIn[i] = false
-		r.matchedOut[i] = false
-	}
 	for iter := 0; iter < r.AllocIters; iter++ {
 		// Input arbitration: each unmatched input port nominates its
 		// least-recently-served VC whose requested output is still free.
 		r.touchedOut = r.touchedOut[:0]
 		progress := false
 		for ip := range r.In {
-			r.cands[ip] = -1
 			if r.matchedIn[ip] || r.In[ip].Busy(now) {
 				continue
 			}
@@ -602,7 +603,6 @@ func (r *Router) Cycle(engine Engine, now int64) []Grant {
 				continue
 			}
 			out := r.reqs[base+best].r.Out
-			r.cands[ip] = int32(out)
 			r.candVC[ip] = int32(best)
 			if len(r.outCand[out]) == 0 {
 				r.touchedOut = append(r.touchedOut, int32(out))
