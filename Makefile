@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json vet cover figures figures-h6 fuzz clean
+.PHONY: all build test test-short test-race bench bench-json bench-compare vet cover figures figures-h6 fuzz clean
 
 all: build test
 
@@ -34,10 +34,22 @@ bench:
 # activity scheduler and the worker pool. -count 3 with benchjson's
 # min-fold absorbs shared-machine noise (single runs swing ±10%). Compare
 # against the committed BENCH_step.json.
+BENCH_TIME ?= 1s
+BENCH_COUNT ?= 3
+
 bench-json:
-	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch' -benchmem -benchtime 1s -count 3 \
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) \
 		| $(GO) run ./cmd/benchjson > BENCH_step.json
 	@cat BENCH_step.json
+
+# Informational perf diff against the committed baseline: rerun the tracked
+# Step benchmarks to a temp file and print per-row ns/op deltas versus
+# BENCH_step.json. Never gates a build — timing on shared machines is
+# advisory (override BENCH_TIME/BENCH_COUNT for a quicker, noisier pass).
+bench-compare:
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) \
+		| $(GO) run ./cmd/benchjson > $(or $(TMPDIR),/tmp)/bench_fresh.json
+	$(GO) run ./cmd/benchcmp BENCH_step.json $(or $(TMPDIR),/tmp)/bench_fresh.json
 
 # Regenerate every paper figure at laptop scale (h=3) with SVG charts.
 figures:
@@ -51,6 +63,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology
 	$(GO) test -fuzz FuzzParsePattern -fuzztime 20s .
 	$(GO) test -fuzz FuzzParallelConservation -fuzztime 30s .
+	$(GO) test -fuzz FuzzRouteCache -fuzztime 30s .
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt

@@ -1,0 +1,97 @@
+// Command benchcmp diffs two bench-json documents (the output of
+// cmd/benchjson): a committed baseline and a fresh run. It prints one row per
+// benchmark with the ns/op delta in percent plus the alloc counters, flags
+// rows present on only one side, and always exits 0 when both files parse —
+// timing on shared machines is advisory, so the diff is informational and
+// must never gate a build. Non-zero exit is reserved for unreadable or
+// malformed input.
+//
+//	make bench-json                         # refresh BENCH_step.json
+//	go run ./cmd/benchcmp old.json new.json # or `make bench-compare`
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// result mirrors cmd/benchjson's Result; the two commands share a wire
+// format, not code, so the baseline file stays self-describing.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) ([]result, map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]result, len(rs))
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	return rs, byName, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s OLD.json NEW.json\n", os.Args[0])
+		os.Exit(2)
+	}
+	oldRows, _, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	_, newBy, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\t")
+	seen := make(map[string]bool, len(oldRows))
+	for _, o := range oldRows {
+		seen[o.Name] = true
+		n, ok := newBy[o.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t\t\n", o.Name, o.NsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		allocs := fmt.Sprintf("%.0f", n.AllocsPerOp)
+		if n.AllocsPerOp != o.AllocsPerOp {
+			allocs = fmt.Sprintf("%.0f→%.0f", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%s\t\n", o.Name, o.NsPerOp, n.NsPerOp, delta, allocs)
+	}
+	// Rows the baseline has never recorded (a new benchmark case), in a
+	// stable order.
+	var extras []string
+	for name := range newBy {
+		if !seen[name] {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		n := newBy[name]
+		fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t%.0f\t\n", name, n.NsPerOp, n.AllocsPerOp)
+	}
+	w.Flush()
+}

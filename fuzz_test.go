@@ -110,6 +110,65 @@ func FuzzFaultSchedule(f *testing.F) {
 	})
 }
 
+// FuzzRouteCache is the fuzz companion of the route-memoization oracle: for
+// every accepted load × fault schedule, an h=2 OFAR run with the route cache
+// enabled must emit the exact grant digest of the identical run with
+// DisableRouteCache, and both must conserve packets. The fault dimension
+// matters: link and router kills under fuzzed timing exercise the epoch-bump
+// teardown paths (FailOutput, ring splicing, credit refunds on dead ports)
+// that a pure traffic fuzz never reaches.
+func FuzzRouteCache(f *testing.F) {
+	f.Add(uint64(1), 0.3, "")
+	f.Add(uint64(9), 0.9, "link@100:0:2")
+	f.Add(uint64(5), 0.6, "link@10:0:5,router@50:3")
+	f.Add(uint64(12), 1.0, "link@0:0:2,router@0:0")
+	f.Add(uint64(77), 0.5, "link@10:0:5,link@10:5:2,router@200:7,router@201:8")
+	f.Fuzz(func(t *testing.T, seed uint64, load float64, spec string) {
+		if math.IsNaN(load) || load < 0 || load > 1 {
+			return
+		}
+		fs, err := ParseFaults(spec)
+		if err != nil || len(fs) > 16 {
+			return
+		}
+		for _, fault := range fs {
+			if fault.Cycle > 400 {
+				return // past the run horizon: proves nothing
+			}
+		}
+		cfg := DefaultConfig(2)
+		cfg.Seed = seed
+		cfg.Faults = fs
+		if err := cfg.Validate(); err != nil {
+			return // out-of-range router/port: a clean rejection
+		}
+		run := func(noCache bool) (uint64, int64) {
+			c := cfg
+			c.DisableRouteCache = noCache
+			sim, err := NewSimulator(c)
+			if err != nil {
+				t.Fatalf("validated config failed to build: %v (%q)", err, spec)
+			}
+			defer sim.Close()
+			sim.Network().EnableGrantDigest()
+			ps, _ := ParsePattern("UN", c.H)
+			sim.SetTraffic(ps, load)
+			sim.Run(500)
+			if err := sim.Network().CheckConservation(); err != nil {
+				t.Fatalf("noCache=%v seed=%d load=%v spec=%q: %v", noCache, seed, load, spec, err)
+			}
+			d, n := sim.Network().GrantDigest()
+			return d, n
+		}
+		onD, onN := run(false)
+		offD, offN := run(true)
+		if onD != offD || onN != offN {
+			t.Fatalf("seed=%d load=%v spec=%q: cache-on digest %016x (%d events) != cache-off %016x (%d events)",
+				seed, load, spec, onD, onN, offD, offN)
+		}
+	})
+}
+
 func FuzzConfigFromJSON(f *testing.F) {
 	ok, _ := ConfigToJSON(DefaultConfig(2))
 	f.Add(ok)

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"ofar/internal/packet"
 	"ofar/internal/router"
@@ -107,6 +108,38 @@ type OFAR struct {
 	name string
 
 	cand []int // scratch: misroute candidate ports
+
+	// Dep recording for the router's route cache (router.CacheableEngine):
+	// Route accumulates the output ports it reads in depMask and the first
+	// cycle its decision could change through time alone in depExpire;
+	// depMin is the per-head minimal-port anchor. RouteDeps reports them.
+	// Per-call scratch like cand, so per-worker clones keep it race-free.
+	depMask   uint64
+	depExpire int64
+	depMin    int32
+}
+
+// dep records that the current Route call read output port `port`.
+func (e *OFAR) dep(port int) { e.depMask |= 1 << uint(port) }
+
+// minPort resolves the minimal output port for the head packet, using the
+// router's cached per-head hint to skip the topology lookup when possible,
+// and records it as the RouteDeps anchor.
+func (e *OFAR) minPort(rt *router.Router, in router.InCtx, p *packet.Packet) int {
+	if in.MinHint >= 0 {
+		e.depMin = in.MinHint
+		return int(in.MinHint)
+	}
+	min := e.d.MinimalPort(rt.ID, p.Dst)
+	e.depMin = int32(min)
+	return min
+}
+
+// RouteDeps implements router.CacheableEngine: it reports the read set the
+// immediately preceding Route call recorded. Each worker has its own clone
+// (CloneForWorker), so the Route → RouteDeps pairing cannot interleave.
+func (e *OFAR) RouteDeps(*router.Router, router.InCtx, *packet.Packet, int64) (uint64, int64, int32) {
+	return e.depMask, e.depExpire, e.depMin
 }
 
 // New builds an OFAR engine for a topology. With cfg.LocalMisroute == false
@@ -165,11 +198,13 @@ func chooseVC(rt *router.Router, port int, p *packet.Packet, now int64) (int, bo
 
 // Route implements router.Engine (paper §IV-A/B).
 func (e *OFAR) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	e.depMask, e.depExpire = 0, math.MaxInt64
 	if in.Escape {
 		return e.routeOnRing(rt, in, p, now)
 	}
 	size := p.Size
-	min := e.d.MinimalPort(rt.ID, p.Dst)
+	min := e.minPort(rt, in, p)
+	e.dep(min)
 	if vc, ok := chooseVC(rt, min, p, now); ok {
 		return router.Request{Out: min, VC: vc}, true
 	}
@@ -208,10 +243,15 @@ func (e *OFAR) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now i
 	}
 	// Last resort: the escape ring, once the packet has been blocked long
 	// enough. Ring entry demands a two-packet bubble (§IV-C).
-	if e.cfg.EscapeTimeout >= 0 && rt.NumRings() > 0 &&
-		now-p.BlockedSince >= int64(e.cfg.EscapeTimeout) {
-		if ring, port, vc, ok := e.pickRing(rt, 2*size, now); ok {
-			return router.Request{Out: port, VC: vc, Escape: true, EnterRing: true, Ring: int8(ring)}, true
+	if e.cfg.EscapeTimeout >= 0 && rt.NumRings() > 0 {
+		if now-p.BlockedSince >= int64(e.cfg.EscapeTimeout) {
+			if ring, port, vc, ok := e.pickRing(rt, 2*size, now); ok {
+				return router.Request{Out: port, VC: vc, Escape: true, EnterRing: true, Ring: int8(ring)}, true
+			}
+		} else if x := p.BlockedSince + int64(e.cfg.EscapeTimeout); x < e.depExpire {
+			// Not blocked long enough yet: the decision flips by time alone
+			// when the threshold is crossed, so the cache must expire there.
+			e.depExpire = x
 		}
 	}
 	return router.Request{}, false
@@ -221,18 +261,22 @@ func (e *OFAR) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now i
 // soon as a minimal output is available (within the exit budget), otherwise
 // advance along the ring under the one-packet bubble rule.
 func (e *OFAR) routeOnRing(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
-	min := e.d.MinimalPort(rt.ID, p.Dst)
+	min := e.minPort(rt, in, p)
 	minKind := e.d.PortKindOf(min)
 	// Ejection at the destination router is always permitted regardless of
 	// the exit budget; otherwise the packet could never leave the network.
 	if p.RingExits < e.cfg.MaxRingExits || minKind == topology.PortNode {
+		e.dep(min)
 		if vc, ok := chooseVC(rt, min, p, now); ok {
 			return router.Request{Out: min, VC: vc, ExitRing: true}, true
 		}
 	}
 	port, vc, credits, ok := rt.RingOut(in.Ring)
-	if ok && credits >= p.Size && !rt.OutBusy(port, now) {
-		return router.Request{Out: port, VC: vc, Escape: true, Ring: int8(in.Ring)}, true
+	if ok {
+		e.dep(port) // a dead ring edge (ok == false) never heals; no dep
+		if credits >= p.Size && !rt.OutBusy(port, now) {
+			return router.Request{Out: port, VC: vc, Escape: true, Ring: int8(in.Ring)}, true
+		}
 	}
 	return router.Request{}, false
 }
@@ -297,7 +341,11 @@ func (e *OFAR) misroute(rt *router.Router, in router.InCtx, p *packet.Packet, mi
 func (e *OFAR) pickAmong(rt *router.Router, base, count, exclude int, th float64, strict bool, p *packet.Packet, now int64) (router.Request, bool) {
 	e.cand = e.cand[:0]
 	for port := base; port < base+count; port++ {
-		if port == exclude || rt.OutBusy(port, now) {
+		if port == exclude {
+			continue
+		}
+		e.dep(port)
+		if rt.OutBusy(port, now) {
 			continue
 		}
 		occ := occFor(rt, port, p)
@@ -371,7 +419,11 @@ func (e *OFAR) pickRing(rt *router.Router, needed int, now int64) (ring, port, v
 	bestCr := -1
 	for j := 0; j < rt.NumRings(); j++ {
 		pj, vj, cr, okj := rt.RingOut(j)
-		if !okj || cr < needed || rt.OutBusy(pj, now) {
+		if !okj {
+			continue // a failed ring edge never heals; no dep
+		}
+		e.dep(pj)
+		if cr < needed || rt.OutBusy(pj, now) {
 			continue
 		}
 		if cr > bestCr {

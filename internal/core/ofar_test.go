@@ -78,7 +78,7 @@ func TestOFARMinimalWhenIdle(t *testing.T) {
 	rt := buildRouter(t, d, 0, true)
 	e := New(d, DefaultConfig())
 	p := newPkt(d, 0, d.Nodes-1)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok {
 		t.Fatal("refused on idle router")
 	}
@@ -104,7 +104,7 @@ func TestOFARNoMisrouteOnEmptyQueues(t *testing.T) {
 	// keep queue occupancy zero is impossible — instead mark port busy by
 	// simulating a serialization in progress.
 	p2 := newPkt(d, 0, p.Dst)
-	rt.In[0].VCs[0].Push(p2)
+	rt.Arrive(0, 0, p2)
 	eng := scriptEngine{out: min}
 	if g := rt.Cycle(eng, 0); len(g) != 1 {
 		t.Fatal("setup grant failed")
@@ -115,7 +115,7 @@ func TestOFARNoMisrouteOnEmptyQueues(t *testing.T) {
 	// which IS strictly below — so a global misroute from an injection
 	// queue is legitimate here. Local misroute must not fire (minimal is
 	// not credit-exhausted).
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 1)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 1)
 	if ok && req.SetLocalMis {
 		t.Error("local misroute without credit exhaustion")
 	}
@@ -145,7 +145,7 @@ func TestOFARGlobalMisrouteFromInjection(t *testing.T) {
 		t.Fatalf("setup: minimal port %d is not global", min)
 	}
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok {
 		t.Fatal("blocked packet did not misroute")
 	}
@@ -179,7 +179,7 @@ func TestOFARInjectionMisroutesGlobally(t *testing.T) {
 	}
 	p := newPkt(d, 0, dst)
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok {
 		t.Fatal("no misroute")
 	}
@@ -202,20 +202,20 @@ func TestOFARLocalThenGlobal(t *testing.T) {
 	}
 	p := newPkt(d, 0, dst)
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 0)
 	if !ok || !req.SetLocalMis || d.PortKindOf(req.Out) != topology.PortLocal {
 		t.Fatalf("first misroute %+v, want local", req)
 	}
 	// Apply the flag as a commit would, then route again.
 	p.LocalMisrouted = true
 	p.MisrouteGroup = 0
-	req, ok = e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 0)
+	req, ok = e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 0)
 	if !ok || !req.SetGlobalMis || d.PortKindOf(req.Out) != topology.PortGlobal {
 		t.Fatalf("second misroute %+v, want global", req)
 	}
 	// Both flags set: no further misrouting is allowed.
 	p.GlobalMisrouted = true
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 0); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 0); ok {
 		t.Error("misrouted with both flags set")
 	}
 }
@@ -237,7 +237,7 @@ func TestOFARIntermediateGroupPolicy(t *testing.T) {
 		t.Fatal("setup: expected local minimal")
 	}
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortGlobal, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortGlobal, Ring: -1}, p, 0)
 	if !ok || !req.SetLocalMis {
 		t.Fatalf("expected local misroute in destination group, got %+v ok=%v", req, ok)
 	}
@@ -245,7 +245,7 @@ func TestOFARIntermediateGroupPolicy(t *testing.T) {
 	// misroute outside the source group) — the packet waits.
 	p.LocalMisrouted = true
 	p.MisrouteGroup = 0
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortGlobal, Ring: -1}, p, 0); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortGlobal, Ring: -1}, p, 0); ok {
 		t.Error("misrouted globally outside the source group")
 	}
 }
@@ -267,7 +267,7 @@ func TestOFARLDisablesLocal(t *testing.T) {
 	}
 	p := newPkt(d, 0, dst)
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 0)
 	if ok && req.SetLocalMis {
 		t.Error("OFAR-L misrouted locally")
 	}
@@ -291,10 +291,10 @@ func TestOFAREscapeAfterTimeout(t *testing.T) {
 	p.MisrouteGroup = 0
 	saturatePort(rt, d.MinimalPort(0, dst))
 	p.BlockedSince = 0
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 5); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 5); ok {
 		t.Fatal("escaped before timeout")
 	}
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 10)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 10)
 	if !ok || !req.EnterRing || !req.Escape {
 		t.Fatalf("expected ring entry at timeout, got %+v ok=%v", req, ok)
 	}
@@ -306,7 +306,7 @@ func TestOFAREscapeAfterTimeout(t *testing.T) {
 			rt.Out[rp].Take(vc, cr-15) // leave <2 packets of room
 		}
 	}
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal, Ring: -1}, p, 20); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal, Ring: -1}, p, 20); ok {
 		t.Error("ring entry granted without a two-packet bubble")
 	}
 }
@@ -323,7 +323,7 @@ func TestOFAROnRingBehavior(t *testing.T) {
 	p := newPkt(d, 0, dst)
 	p.OnRing = true
 	p.Ring = 0
-	in := router.InCtx{Kind: topology.PortRing, Escape: true, Ring: 0}
+	in := router.InCtx{MinHint: -1, Kind: topology.PortRing, Escape: true, Ring: 0}
 
 	// Minimal available: exit.
 	req, ok := e.Route(rt, in, p, 0)
@@ -364,7 +364,7 @@ func TestOFARIntraGroup(t *testing.T) {
 	p := newPkt(d, 0, dst)
 	min := d.MinimalPort(0, dst)
 	saturatePort(rt, min)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok || !req.SetLocalMis || d.PortKindOf(req.Out) != topology.PortLocal {
 		t.Fatalf("intra-group misroute %+v ok=%v, want local", req, ok)
 	}
@@ -392,7 +392,7 @@ func TestOFARHeadroomFilter(t *testing.T) {
 		cr := rt.Out[port].Credits(0)
 		rt.Out[port].Take(0, cr-8)
 	}
-	if req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0); ok {
+	if req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0); ok {
 		t.Errorf("misrouted to a headroom-less candidate: %+v", req)
 	}
 }
@@ -432,14 +432,14 @@ func TestOFARVariablePolicyStrictness(t *testing.T) {
 	// Make the minimal port busy via a scripted grant (queue stays almost
 	// empty: only the granted packet's 8 phits are accounted downstream).
 	p2 := newPkt(d, 0, dst)
-	rt.In[0].VCs[0].Push(p2)
+	rt.Arrive(0, 0, p2)
 	if g := rt.Cycle(scriptEngine{out: min}, 0); len(g) != 1 {
 		t.Fatal("setup grant failed")
 	}
 	// Refund the grant's credits so the port is busy with a truly empty
 	// downstream queue (Q_min = 0): nothing is strictly below 0.9·0.
 	rt.AddCredit(min, 0, p2.Size)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 1)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 1)
 	if ok && (req.SetGlobalMis || req.SetLocalMis) {
 		t.Errorf("variable policy misrouted on a serialization collision: %+v", req)
 	}
@@ -460,7 +460,7 @@ func TestOFARVariablePolicyMisroutesOnBacklog(t *testing.T) {
 		t.Fatal("setup: want global minimal")
 	}
 	saturatePort(rt, min) // occupancy 100%, credits exhausted
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok || !req.SetGlobalMis {
 		t.Fatalf("variable policy did not misroute on backlog: %+v ok=%v", req, ok)
 	}
@@ -491,7 +491,7 @@ func TestOFARLeastOccupiedSelection(t *testing.T) {
 	saturatePort(rt, min)
 	g0 := d.GlobalPortBase()
 	rt.Out[g0].Take(0, 64) // 12.5% occupancy on the first global port
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode, Ring: -1}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode, Ring: -1}, p, 0)
 	if !ok || !req.SetGlobalMis {
 		t.Fatalf("no misroute: %+v ok=%v", req, ok)
 	}

@@ -119,11 +119,18 @@ func TestReadyVCCounterMatchesBuffers(t *testing.T) {
 		for _, r := range n.Routers {
 			want := 0
 			for i := range r.In {
+				var wantMask uint64
 				for vc := range r.In[i].VCs {
 					buf := &r.In[i].VCs[vc]
 					if buf.Len() > 0 && !buf.Draining() {
 						want++
+						wantMask |= 1 << uint(vc)
 					}
+				}
+				// The per-port ready bitset the allocator iterates must agree
+				// bit for bit with the same predicate the counter tracks.
+				if got := r.In[i].ReadyMask(); got != wantMask {
+					t.Fatalf("cycle %d router %d port %d: ready mask %b, buffers say %b", c, r.ID, i, got, wantMask)
 				}
 			}
 			if got := r.RoutableVCs(); got != want {
@@ -142,7 +149,7 @@ func TestReadyVCCounterMatchesBuffers(t *testing.T) {
 // fall back to the serial path, saturated steps dispatch to the pool.
 // `make bench-json` records the numbers in BENCH_step.json.
 func BenchmarkStepByLoad(b *testing.B) {
-	for _, load := range []float64{0.05, 0.2, 0.5, 0.9} {
+	for _, load := range []float64{0.05, 0.2, 0.5, 0.9, 0.99} {
 		for _, workers := range []int{0, 4, 8} {
 			for _, sched := range []bool{true, false} {
 				wname := "serial"

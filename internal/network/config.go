@@ -185,6 +185,13 @@ type Config struct {
 	// exists for differential testing and benchmarking, not correctness.
 	DisableActivitySched bool
 
+	// DisableRouteCache turns off the epoch-invalidated route memoization in
+	// every router (see router.CacheableEngine). The cache only replays
+	// decisions whose inputs provably did not change, so results are
+	// bit-identical either way; like DisableActivitySched, this escape hatch
+	// exists for differential testing and benchmarking, not correctness.
+	DisableRouteCache bool
+
 	// Faults is the deterministic failure schedule: each entry kills a link
 	// or a whole router at the top of its cycle. The schedule is applied in
 	// (Cycle, Kind, Router, Port) order regardless of the order given here.
@@ -263,6 +270,35 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("network: worker count must be ≥ 0 (0 = serial)")
 	case c.ParallelCutover < 0:
 		return fmt.Errorf("network: parallel cutover must be ≥ 0 (0 = auto)")
+	}
+	// The router's allocator and route cache keep per-port request/match/
+	// epoch state in single uint64 bitsets, so both the port count and the
+	// per-port VC count are capped at 64. Far beyond the paper's radices
+	// (h=6 ⇒ 23 ports), but guard it explicitly.
+	{
+		nPorts := c.P + c.A - 1 + c.H
+		if c.Ring == RingPhysical {
+			nPorts += c.NumRings
+		}
+		if nPorts > 64 {
+			return fmt.Errorf("network: router radix %d exceeds 64 ports (allocator bitset limit)", nPorts)
+		}
+		maxVCs := c.LocalVCs
+		if c.GlobalVCs > maxVCs {
+			maxVCs = c.GlobalVCs
+		}
+		if c.InjVCs > maxVCs {
+			maxVCs = c.InjVCs
+		}
+		if c.Ring == RingPhysical && c.RingVCs > maxVCs {
+			maxVCs = c.RingVCs
+		}
+		if c.Ring == RingEmbedded {
+			maxVCs += c.NumRings // embedded rings add escape VCs to canonical links
+		}
+		if maxVCs > 64 {
+			return fmt.Errorf("network: %d VCs on one port exceeds 64 (allocator bitset limit)", maxVCs)
+		}
 	}
 	if c.Ring != RingNone {
 		if c.NumRings < 1 {

@@ -231,6 +231,7 @@ func (n *Network) spliceRing(j, w int) {
 	for vc := 0; vc < po.NumVCs(); vc++ {
 		po.SetCredits(vc, po.VCCap(vc)-ni.VCs[vc].Occupied()-arriving[vc])
 	}
+	n.Routers[prev].NoteOutMutated(ringPort)
 }
 
 // dropPacket accounts one packet lost to a fault: the Dropped counter, the

@@ -36,12 +36,13 @@ const (
 	goldenHead   = 256
 )
 
-func goldenRun(t *testing.T, load float64, workers int, noSched bool, faults []Fault) []byte {
+func goldenRun(t *testing.T, load float64, workers int, noSched, noCache bool, faults []Fault) []byte {
 	t.Helper()
 	cfg := DefaultConfig(3)
 	cfg.Seed = 12345
 	cfg.Workers = workers
 	cfg.DisableActivitySched = noSched
+	cfg.DisableRouteCache = noCache
 	cfg.Faults = faults
 	n := mustNet(t, cfg)
 	defer n.Close()
@@ -73,7 +74,7 @@ func goldenRun(t *testing.T, load float64, workers int, noSched bool, faults []F
 // still fails).
 func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
 	t.Helper()
-	base := goldenRun(t, load, 0, false, faults)
+	base := goldenRun(t, load, 0, false, false, faults)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -91,16 +92,19 @@ func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
 		name    string
 		workers int
 		noSched bool
+		noCache bool
 	}{
-		{"serial", 0, false},
-		{"serial-nosched", 0, true},
-		{"workers4", 4, false},
-		{"workers4-nosched", 4, true},
+		{"serial", 0, false, false},
+		{"serial-nosched", 0, true, false},
+		{"serial-nocache", 0, false, true},
+		{"workers4", 4, false, false},
+		{"workers4-nosched", 4, true, false},
+		{"workers4-nocache", 4, false, true},
 	}
 	for _, v := range variants {
 		got := base
-		if v.workers != 0 || v.noSched {
-			got = goldenRun(t, load, v.workers, v.noSched, faults)
+		if v.workers != 0 || v.noSched || v.noCache {
+			got = goldenRun(t, load, v.workers, v.noSched, v.noCache, faults)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+

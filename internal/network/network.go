@@ -311,6 +311,16 @@ func New(cfg Config) (*Network, error) {
 			PBThreshold: cfg.Adaptive.PBThreshold,
 		})
 	}
+	if !cfg.DisableRouteCache {
+		if _, ok := n.Engine.(router.CacheableEngine); ok {
+			// The engine can report its Route read sets, so the routers can
+			// memoize decisions (Validate guarantees ≤ 64 ports). PAR mutates
+			// packet headers mid-Route and stays uncached.
+			for _, rt := range n.Routers {
+				rt.EnableRouteCache()
+			}
+		}
+	}
 
 	horizon := cfg.GlobalLatency
 	if cfg.LocalLatency > horizon {

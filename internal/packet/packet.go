@@ -13,11 +13,16 @@ type ID uint64
 
 // Packet is a network packet. All fields are managed by the simulator; user
 // code observes packets only through statistics.
+//
+// Field order is deliberate: the leading fields are exactly the routing
+// engine's per-cycle read set (consulted for every blocked buffer head at
+// saturation), packed so they share the packet's first cache lines. The
+// trailing fields are written once per hop or once per lifetime. Reordering
+// is semantics-neutral — nothing reflects over or serializes this struct.
 type Packet struct {
 	ID   ID
 	Size int // size in phits
 
-	Src int // source node index
 	Dst int // destination node index
 
 	SrcGroup int // group of the source node (cached)
@@ -30,29 +35,36 @@ type Packet struct {
 	// packet proceeds minimally.
 	ValiantGroup int
 
+	// BlockedSince is the cycle at which the packet most recently became
+	// head of an input buffer without being able to advance; < 0 when the
+	// packet is not blocked. Drives the escape-ring timeout.
+	BlockedSince int64
+
 	// Misroute header flags used by OFAR (paper §IV-A).
 	GlobalMisrouted bool // at most one global non-minimal hop per packet
 	LocalMisrouted  bool // at most one local non-minimal hop per group
-	// MisrouteGroup remembers the group in which LocalMisrouted was set so
-	// the flag can be reset when the packet changes group.
-	MisrouteGroup int
+
+	// Escape subnetwork state (hot part: read by every OFAR Route call).
+	OnRing bool // currently stored in an escape-ring buffer
+	Ring   int8 // index of the escape ring the packet rides (-1 off-ring)
 
 	// Hop class counters used for deadlock-free VC selection by the
 	// baseline mechanisms (ascending VC order).
 	LocalHops  int // local hops taken so far
 	GlobalHops int // global hops taken so far
-	TotalHops  int
 
-	// Escape subnetwork state.
-	OnRing    bool // currently stored in an escape-ring buffer
-	Ring      int8 // index of the escape ring the packet rides (-1 off-ring)
-	RingExits int  // times the packet has left the escape ring
-	RingHops  int  // hops taken on the escape ring
+	// --- cold fields: written per hop or per lifetime, never read by Route ---
 
-	// BlockedSince is the cycle at which the packet most recently became
-	// head of an input buffer without being able to advance; < 0 when the
-	// packet is not blocked. Drives the escape-ring timeout.
-	BlockedSince int64
+	Src int // source node index
+
+	// MisrouteGroup remembers the group in which LocalMisrouted was set so
+	// the flag can be reset when the packet changes group.
+	MisrouteGroup int
+
+	TotalHops int
+
+	RingExits int // times the packet has left the escape ring
+	RingHops  int // hops taken on the escape ring
 
 	// Timestamps (in cycles).
 	Born     int64 // generation time at the source node

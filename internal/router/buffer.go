@@ -31,6 +31,27 @@ type VCBuffer struct {
 	head     int // index of the logical head within q
 	occupied int // phits
 	draining bool
+
+	// Route-cache entry for the current head packet (see Router.Cycle).
+	// Valid while cValid is set AND now < cExpire AND cMask (the decision's
+	// output-port read set) is disjoint from the dirty window the router
+	// presents at validation time. The cached Request itself lives in the
+	// router's reqs slot for this buffer (only a re-evaluation of this
+	// buffer overwrites it). cMin caches the engine's per-head anchor port
+	// (InCtx.MinHint) and survives dirty invalidation: it depends only on
+	// the head's identity, so only head replacement resets it.
+	cMask   uint64
+	cExpire int64
+	cMin    int32
+	cOK     bool // the cached outcome: Route returned (request, true)
+	cValid  bool
+}
+
+// invalidateCache forgets the route-cache entry and the per-head anchor
+// hint. Called whenever the head packet changes identity.
+func (b *VCBuffer) invalidateCache() {
+	b.cValid = false
+	b.cMin = -1
 }
 
 // Init sets the buffer capacity (phits). ring < 0 marks a canonical buffer.
@@ -42,6 +63,7 @@ func (b *VCBuffer) Init(capacity int, ring int) {
 	b.head = 0
 	b.occupied = 0
 	b.draining = false
+	b.invalidateCache()
 }
 
 // Len returns the number of queued packets.
@@ -73,6 +95,9 @@ func (b *VCBuffer) Push(p *packet.Packet) {
 	if p.Size > b.Free() {
 		panic("router: VC buffer overflow (credit accounting bug)")
 	}
+	if b.Len() == 0 {
+		b.invalidateCache() // the pushed packet becomes the head
+	}
 	b.q = append(b.q, p)
 	b.occupied += p.Size
 }
@@ -85,6 +110,7 @@ func (b *VCBuffer) DropQueued(visit func(*packet.Packet)) {
 	if b.Len() == 0 {
 		return
 	}
+	b.invalidateCache()
 	start := b.head
 	if b.draining {
 		start++ // the in-flight head survives until its FinishDrain
@@ -132,5 +158,6 @@ func (b *VCBuffer) FinishDrain() *packet.Packet {
 	}
 	b.occupied -= p.Size
 	b.draining = false
+	b.invalidateCache() // whatever queued behind p is the new head
 	return p
 }

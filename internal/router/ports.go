@@ -17,10 +17,21 @@ type InPort struct {
 	// busyUntil gates the port's 1 phit/cycle crossbar bandwidth: while a
 	// packet drains, no other VC of the port can be granted.
 	busyUntil int64
+
+	// ready is the bitset form of the routable-head predicate: bit vc is set
+	// iff VCs[vc] is non-empty and not draining. It is maintained at exactly
+	// the sites that maintain Router.readyVCs, so popcount(ready) summed over
+	// ports always equals readyVCs. Cycle iterates set bits instead of
+	// scanning every VC.
+	ready uint64
 }
 
 // Busy reports whether the port is still streaming a previous grant.
 func (ip *InPort) Busy(now int64) bool { return ip.busyUntil > now }
+
+// ReadyMask returns the routable-head bitset (bit vc set iff VCs[vc] holds a
+// routable head). Test and diagnostics hook.
+func (ip *InPort) ReadyMask() uint64 { return ip.ready }
 
 // OutPort is one output port with per-VC credit counters mirroring the free
 // space of the downstream input buffer.

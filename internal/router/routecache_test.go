@@ -1,0 +1,210 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"ofar/internal/packet"
+)
+
+// cacheScriptEngine is a scriptable CacheableEngine that counts Route calls
+// and records the MinHint each call received, so tests can pin exactly when
+// the route cache recomputes versus replays.
+type cacheScriptEngine struct {
+	calls int
+	hints []int32
+	route func(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool)
+	deps  func(rt *Router, in InCtx, p *packet.Packet, now int64) (uint64, int64, int32)
+}
+
+func (e *cacheScriptEngine) Name() string                               { return "cache-script" }
+func (e *cacheScriptEngine) AtInjection(*Router, *packet.Packet, int64) {}
+func (e *cacheScriptEngine) Route(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool) {
+	e.calls++
+	e.hints = append(e.hints, in.MinHint)
+	return e.route(rt, in, p, now)
+}
+func (e *cacheScriptEngine) RouteDeps(rt *Router, in InCtx, p *packet.Packet, now int64) (uint64, int64, int32) {
+	return e.deps(rt, in, p, now)
+}
+
+// port2Deps reports a read set of output port 2 only, no time dependence,
+// with port 2 as the per-head anchor.
+func port2Deps(*Router, InCtx, *packet.Packet, int64) (uint64, int64, int32) {
+	return 1 << 2, math.MaxInt64, 2
+}
+
+// TestRouteCacheStableBlockedHead: a blocked head whose read set does not
+// change is evaluated exactly once, however many cycles pass; a credit refund
+// on a read port forces one re-evaluation, which then sees the cached
+// MinHint anchor instead of -1.
+func TestRouteCacheStableBlockedHead(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(*Router, InCtx, *packet.Packet, int64) (Request, bool) { return Request{}, false },
+		deps:  port2Deps,
+	}
+	r.Out[2].Take(0, 8) // headroom so the refund below is legal
+	push(r, 0, 0, &pool)
+	for now := int64(0); now < 5; now++ {
+		r.Cycle(eng, now)
+	}
+	if eng.calls != 1 {
+		t.Fatalf("blocked head with stable deps evaluated %d times, want 1", eng.calls)
+	}
+	if eng.hints[0] != -1 {
+		t.Fatalf("first evaluation saw MinHint %d, want -1", eng.hints[0])
+	}
+	r.AddCredit(2, 0, 8) // epoch bump on the read port
+	for now := int64(5); now < 8; now++ {
+		r.Cycle(eng, now)
+	}
+	if eng.calls != 2 {
+		t.Fatalf("credit refund triggered %d re-evaluations, want exactly 1 (calls=2)", eng.calls)
+	}
+	if eng.hints[1] != 2 {
+		t.Fatalf("re-evaluation saw MinHint %d, want the cached anchor 2", eng.hints[1])
+	}
+}
+
+// TestRouteCacheBusyTransitions: the allocation loser is re-evaluated once
+// after the winner's commit (the commit bumps the output's epoch), caches its
+// blocked result while the port serializes, and is re-evaluated again when
+// the busy deadline expires (the nextFree scan bumps the epoch).
+func TestRouteCacheBusyTransitions(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool) {
+			if rt.OutBusy(2, now) {
+				return Request{}, false
+			}
+			return Request{Out: 2, VC: 0}, true
+		},
+		deps: port2Deps,
+	}
+	push(r, 0, 0, &pool)
+	push(r, 1, 0, &pool)
+	if grants := r.Cycle(eng, 0); len(grants) != 1 || eng.calls != 2 {
+		t.Fatalf("cycle 0: %d grants, %d calls; want 1 grant from 2 evaluations", len(grants), eng.calls)
+	}
+	// Cycles 1..7: output 2 is serializing the winner (8 phits). The loser
+	// re-evaluates once at cycle 1 (the commit moved the epoch), sees the
+	// busy port, and the blocked result is then replayed.
+	for now := int64(1); now < 8; now++ {
+		if g := r.Cycle(eng, now); len(g) != 0 {
+			t.Fatalf("cycle %d: unexpected grant while output busy", now)
+		}
+	}
+	if eng.calls != 3 {
+		t.Fatalf("busy window re-evaluated %d times, want exactly 1 (calls=3)", eng.calls)
+	}
+	// Cycle 8: the busy deadline expires; the scan bumps the epoch and the
+	// loser is re-evaluated and granted.
+	if grants := r.Cycle(eng, 8); len(grants) != 1 || eng.calls != 4 {
+		t.Fatalf("cycle 8: %d grants, %d calls; want the freed port re-evaluated and granted", len(grants), eng.calls)
+	}
+}
+
+// TestRouteCacheHeadReplacement: draining the head invalidates both the
+// cached decision and the MinHint anchor, so the next head is evaluated
+// fresh with MinHint -1.
+func TestRouteCacheHeadReplacement(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool) {
+			if rt.OutBusy(2, now) {
+				return Request{}, false
+			}
+			return Request{Out: 2, VC: 0}, true
+		},
+		deps: port2Deps,
+	}
+	push(r, 0, 0, &pool)
+	push(r, 0, 0, &pool) // queued behind the head
+	if grants := r.Cycle(eng, 0); len(grants) != 1 || eng.calls != 1 {
+		t.Fatalf("cycle 0: %d grants, %d calls", len(grants), eng.calls)
+	}
+	if p, _, _ := r.FinishDrain(0, 0); p == nil {
+		t.Fatal("FinishDrain returned nil")
+	}
+	if grants := r.Cycle(eng, 8); len(grants) != 1 || eng.calls != 2 {
+		t.Fatalf("new head: %d grants, %d calls; want fresh evaluation and grant", len(grants), eng.calls)
+	}
+	if eng.hints[1] != -1 {
+		t.Fatalf("new head saw MinHint %d, want -1 (anchor reset on head replacement)", eng.hints[1])
+	}
+}
+
+// TestRouteCacheNeverCachesRNGDraws: a decision that consumed randomness is
+// recomputed every cycle — replaying it would skip the draws and
+// desynchronize the router's RNG stream.
+func TestRouteCacheNeverCachesRNGDraws(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool) {
+			rt.RandInt(2)
+			return Request{}, false
+		},
+		deps: port2Deps,
+	}
+	push(r, 0, 0, &pool)
+	for now := int64(0); now < 4; now++ {
+		r.Cycle(eng, now)
+	}
+	if eng.calls != 4 {
+		t.Fatalf("RNG-drawing decision evaluated %d times over 4 cycles, want 4", eng.calls)
+	}
+}
+
+// TestRouteCacheExpiry: a decision that reports a time expiry is replayed
+// until that cycle and recomputed exactly then (OFAR's escape-timeout
+// threshold is the production case).
+func TestRouteCacheExpiry(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(*Router, InCtx, *packet.Packet, int64) (Request, bool) { return Request{}, false },
+		deps: func(_ *Router, _ InCtx, _ *packet.Packet, now int64) (uint64, int64, int32) {
+			return 1 << 2, now + 3, 2
+		},
+	}
+	push(r, 0, 0, &pool)
+	for now := int64(0); now < 9; now++ {
+		r.Cycle(eng, now)
+	}
+	if eng.calls != 3 {
+		t.Fatalf("expiring decision evaluated %d times over 9 cycles, want 3 (cycles 0, 3, 6)", eng.calls)
+	}
+}
+
+// TestRouteCacheFailOutputInvalidates: killing a link the decision read
+// forces a re-evaluation.
+func TestRouteCacheFailOutputInvalidates(t *testing.T) {
+	r := testRouter(t, 1)
+	r.EnableRouteCache()
+	var pool packet.Pool
+	eng := &cacheScriptEngine{
+		route: func(*Router, InCtx, *packet.Packet, int64) (Request, bool) { return Request{}, false },
+		deps:  port2Deps,
+	}
+	push(r, 0, 0, &pool)
+	r.Cycle(eng, 0)
+	r.Cycle(eng, 1)
+	if eng.calls != 1 {
+		t.Fatalf("calls=%d before fault, want 1", eng.calls)
+	}
+	r.FailOutput(2)
+	r.Cycle(eng, 2)
+	if eng.calls != 2 {
+		t.Fatalf("FailOutput on a read port triggered %d evaluations, want a re-evaluation (calls=2)", eng.calls)
+	}
+}

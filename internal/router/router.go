@@ -2,6 +2,8 @@ package router
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"ofar/internal/packet"
 	"ofar/internal/simcore"
@@ -77,8 +79,11 @@ type Router struct {
 	// FinishDrain and is the network activity scheduler's wake predicate —
 	// when it is zero, Cycle provably has no side effects (no engine.Route
 	// call, no RNG draw, no arbiter movement, no header writes), so the
-	// router may be skipped without perturbing the simulation.
-	readyVCs int
+	// router may be skipped without perturbing the simulation. readyPorts is
+	// the port-level projection (bit ip set iff In[ip].ready != 0), kept at
+	// the same sites, so Cycle iterates only ports that can hold work.
+	readyVCs   int
+	readyPorts uint64
 
 	// pbDirty is set whenever the canonical occupancy of a global output
 	// port may have changed (credits taken or refunded), i.e. whenever the
@@ -86,22 +91,65 @@ type Router struct {
 	// values. The network republishes only dirty routers.
 	pbDirty bool
 
-	// allocator scratch state (reused every cycle)
-	inArb      []LRS
-	outArb     []LRS
-	reqs       []reqSlot
-	vcBase     []int32
-	candVC     []int32
-	outCand    [][]int32 // per output port: candidate input ports
-	touchedOut []int32
-	matchedIn  []bool
-	matchedOut []bool
-	grants     []Grant
-}
+	// allocator scratch state (reused every cycle). Request validity and the
+	// separable-allocator match state live in bitsets: reqMask[ip] holds the
+	// valid-request VC mask of input port ip (rebuilt from scratch each
+	// cycle), outCandMask[op] the candidate input-port mask of output port op
+	// (cleared as it is consumed). The flattened reqs slots are never
+	// cleared — a slot is only read when its reqMask bit is set this cycle,
+	// and only a re-evaluation of that (port, vc) writes it, which is what
+	// lets route-cache hits skip the write entirely.
+	inArb       []LRS
+	outArb      []LRS
+	reqs        []Request
+	reqMask     []uint64
+	vcBase      []int32
+	candVC      []int32
+	outCandMask []uint64
+	touchedOut  []int32 // outputs with candidates, in first-touch order
+	grants      []Grant
 
-type reqSlot struct {
-	valid bool
-	r     Request
+	// Route-cache state (EnableRouteCache). dirty accumulates a bit per
+	// output port whose engine-visible state changed since the last
+	// formation pass captured it: credits taken (commit) or refunded
+	// (AddCredit), busy→free expiry (the nextFree scan at the top of Cycle),
+	// link death (FailOutput), ring-edge removal (FailRing) and structural
+	// credit surgery (NoteOutMutated). Cycle drains dirty into the cycle's
+	// invalidation window; a cached decision is stale iff its read-set mask
+	// intersects the window. Live cache entries are re-validated every Cycle
+	// (an entry's VC has its ready bit set by definition), with two gaps
+	// both covered: a busy input port's entries are skipped for the busy
+	// span, so the skipped windows accumulate in pendingDirty[ip]; a
+	// sleeping router runs no Cycle at all, so dirty itself accumulates
+	// until the next wake captures the union. rngDraws counts RandInt calls:
+	// a decision that consumed randomness is never cached, which is what
+	// makes replaying a cached decision deterministic.
+	cacheOn      bool
+	dirty        uint64
+	pendingDirty []uint64
+	nextFree     int64 // earliest future busy→free transition; MaxInt64 if none
+	rngDraws     uint64
+
+	// Port-level formation memo, layered on the per-VC entries: when every
+	// ready VC of an input port holds a valid cache entry, the port's whole
+	// formation outcome (its request mask) is stored together with the OR of
+	// the entries' read sets (portDep), the min of their expiries (portExp)
+	// and a formed bit. A later cycle whose dirty window misses portDep, with
+	// no head change on the port (headChanged) and no expiry reached, replays
+	// the stored mask without touching a single buffer — each per-VC check
+	// would have hit with the same outcome, so replay ≡ recompute.
+	formed      uint64
+	headChanged uint64
+	portDep     []uint64
+	portExp     []int64
+	portReqM    []uint64
+
+	// outBusy mirrors "Out[o].busyUntil > now" under cacheOn: commit sets a
+	// port's bit, the nextFree expiry scan clears crossed bits. It lets the
+	// scan walk only busy ports and turns the allocator's available-output
+	// rebuild into a complement (allOut is the all-ports mask).
+	outBusy uint64
+	allOut  uint64
 }
 
 // New builds a router from its parameter block.
@@ -126,9 +174,8 @@ func New(p Params) *Router {
 	r.outArb = make([]LRS, n)
 	r.vcBase = make([]int32, n+1)
 	r.candVC = make([]int32, n)
-	r.outCand = make([][]int32, n)
-	r.matchedIn = make([]bool, n)
-	r.matchedOut = make([]bool, n)
+	r.reqMask = make([]uint64, n)
+	r.outCandMask = make([]uint64, n)
 	total := 0
 	for i, ps := range p.Ports {
 		r.vcBase[i] = int32(total)
@@ -169,7 +216,7 @@ func New(p Params) *Router {
 		total += len(ps.InCaps)
 	}
 	r.vcBase[n] = int32(total)
-	r.reqs = make([]reqSlot, total)
+	r.reqs = make([]Request, total)
 	r.ringOuts = make([]int32, len(p.RingOuts))
 	for i, po := range p.RingOuts {
 		r.ringOuts[i] = int32(po)
@@ -180,7 +227,40 @@ func New(p Params) *Router {
 // --- engine-facing helpers ---------------------------------------------------
 
 // RandInt returns a uniform integer in [0,n) from the router's private RNG.
-func (r *Router) RandInt(n int) int { return r.rng.Intn(n) }
+// The draw counter lets Cycle detect decisions that consumed randomness and
+// refuse to cache them.
+func (r *Router) RandInt(n int) int {
+	r.rngDraws++
+	return r.rng.Intn(n)
+}
+
+// EnableRouteCache turns on dirty-mask-invalidated route memoization. The
+// network calls it once, after construction, when the routing engine
+// implements CacheableEngine and the config allows caching. Runs are
+// bit-identical with the cache on or off (see TestRouteCacheDifferential);
+// the cache only skips recomputation of decisions whose inputs provably did
+// not change.
+func (r *Router) EnableRouteCache() {
+	if len(r.Out) > 64 {
+		panic("router: route cache requires <= 64 ports (enforced by config validation)")
+	}
+	r.cacheOn = true
+	r.pendingDirty = make([]uint64, len(r.In))
+	r.portDep = make([]uint64, len(r.In))
+	r.portExp = make([]int64, len(r.In))
+	r.portReqM = make([]uint64, len(r.In))
+	r.allOut = ^uint64(0) >> uint(64-len(r.Out))
+	r.nextFree = math.MaxInt64
+}
+
+// NoteOutMutated records that an output port's credit or peer state was
+// rewritten outside the normal commit/refund paths (escape-ring splice
+// surgery). Cached decisions that read the port are invalidated.
+func (r *Router) NoteOutMutated(port int) {
+	if r.cacheOn {
+		r.dirty |= 1 << uint(port)
+	}
+}
 
 // OutBusy reports whether an output port is serializing a previous packet.
 func (r *Router) OutBusy(port int, now int64) bool { return r.Out[port].Busy(now) }
@@ -229,6 +309,9 @@ func (r *Router) VCFits(port, vc, size int) bool {
 // link must republish as congested, so the router is marked dirty.
 func (r *Router) FailOutput(port int) {
 	r.Out[port].Fail()
+	if r.cacheOn {
+		r.dirty |= 1 << uint(port)
+	}
 	if r.pb != nil && r.Out[port].Kind == topology.PortGlobal {
 		r.pbDirty = true
 	}
@@ -250,6 +333,7 @@ func (r *Router) DropBuffered(visit func(*packet.Packet)) {
 			buf := &r.In[i].VCs[vc]
 			if buf.Len() > 0 && !buf.Draining() {
 				r.readyVCs-- // the routable head is among the dropped
+				r.In[i].ready &^= 1 << uint(vc)
 			}
 			before := buf.Occupied()
 			buf.DropQueued(visit)
@@ -257,6 +341,10 @@ func (r *Router) DropBuffered(visit func(*packet.Packet)) {
 				r.occPhits -= before - buf.Occupied()
 			}
 		}
+		if r.In[i].ready == 0 {
+			r.readyPorts &^= 1 << uint(i)
+		}
+		r.headChanged |= 1 << uint(i)
 	}
 }
 
@@ -288,6 +376,9 @@ func (r *Router) RingOut(ring int) (port, vc, credits int, ok bool) {
 // through canonical outputs as usual.
 func (r *Router) FailRing(ring int) {
 	if ring >= 0 && ring < len(r.ringOuts) {
+		if po := r.ringOuts[ring]; po >= 0 && r.cacheOn {
+			r.dirty |= 1 << uint(po) // cached RingOut reads of this port are stale
+		}
 		r.ringOuts[ring] = -1
 	}
 }
@@ -335,6 +426,9 @@ func (r *Router) Arrive(port, vc int, p *packet.Packet) {
 	buf := &inp.VCs[vc]
 	if buf.Len() == 0 && !buf.Draining() {
 		r.readyVCs++ // empty → head becomes routable
+		inp.ready |= 1 << uint(vc)
+		r.readyPorts |= 1 << uint(port)
+		r.headChanged |= 1 << uint(port)
 	}
 	buf.Push(p)
 	if !buf.Escape {
@@ -364,6 +458,9 @@ func (r *Router) FinishDrain(port, vc int) (p *packet.Packet, upRouter, upPort i
 	p = buf.FinishDrain()
 	if buf.Len() > 0 {
 		r.readyVCs++ // the queued packet behind the drained head is now routable
+		inp.ready |= 1 << uint(vc)
+		r.readyPorts |= 1 << uint(port)
+		r.headChanged |= 1 << uint(port)
 	}
 	if !buf.Escape {
 		r.occPhits -= p.Size
@@ -375,6 +472,9 @@ func (r *Router) FinishDrain(port, vc int) (p *packet.Packet, upRouter, upPort i
 // space).
 func (r *Router) AddCredit(port, vc, phits int) {
 	r.Out[port].Refund(vc, phits)
+	if r.cacheOn {
+		r.dirty |= 1 << uint(port)
+	}
 	if r.pb != nil && r.Out[port].Kind == topology.PortGlobal {
 		r.pbDirty = true
 	}
@@ -396,9 +496,13 @@ func (r *Router) InjectionSpace(port, size int) (vc int, ok bool) {
 // Inject places a freshly generated packet into injection buffer (port, vc).
 func (r *Router) Inject(port, vc int, p *packet.Packet, now int64) {
 	p.Injected = now
-	buf := &r.In[port].VCs[vc]
+	inp := &r.In[port]
+	buf := &inp.VCs[vc]
 	if buf.Len() == 0 && !buf.Draining() {
 		r.readyVCs++
+		inp.ready |= 1 << uint(vc)
+		r.readyPorts |= 1 << uint(port)
+		r.headChanged |= 1 << uint(port)
 	}
 	buf.Push(p)
 	r.occPhits += p.Size
@@ -470,7 +574,12 @@ func (r *Router) CheckCredits(routers []*Router, inFlight func(router, port, vc 
 // idle router to prove the call had no side effects (the contract the
 // network's activity scheduler relies on). The request scratch slots and the
 // grants slice are deliberately excluded: both are reset at the top of every
-// Cycle before being read, so stale contents are unobservable.
+// Cycle before being read, so stale contents are unobservable. The route
+// cache (per-buffer entries, dirty/pendingDirty masks, nextFree, rngDraws) is
+// excluded too:
+// it is pure memoization of values recomputable from the fingerprinted state,
+// and excluding it is what makes cache-on and cache-off runs — which are
+// bit-identical by construction — report identical fingerprints.
 func (r *Router) StateFingerprint() uint64 {
 	const (
 		offset uint64 = 14695981039346656037
@@ -528,71 +637,174 @@ func (r *Router) StateFingerprint() uint64 {
 // Cycle runs routing decisions for all routable buffer heads and performs
 // the iterative separable switch allocation, committing the winners. It
 // returns the cycle's grants; the returned slice is reused next cycle.
+//
+// With the route cache enabled, a buffer head whose cached decision is still
+// valid (read-set mask disjoint from the cycle's dirty window, expiry not
+// reached) skips the engine entirely —
+// including the Head() dereference and the BlockedSince stamp: a valid entry
+// implies the head is the same packet that was evaluated when the entry was
+// created, at which point BlockedSince was already set (it only resets when
+// the packet wins allocation and drains, which invalidates the entry).
 func (r *Router) Cycle(engine Engine, now int64) []Grant {
-	// Clear the match state left by the previous cycle. Each grant set
-	// exactly one matchedIn and one matchedOut entry, so last cycle's grant
-	// list enumerates every set bit — no full-slice wipe needed.
-	for i := range r.grants {
-		g := &r.grants[i]
-		r.matchedIn[g.InPort] = false
-		r.matchedOut[g.Req.Out] = false
+	var window uint64 // output ports dirtied since the last formation pass
+	if r.cacheOn {
+		if now >= r.nextFree {
+			// One or more output ports crossed busy→free since the last scan;
+			// mark them dirty (cached decisions that saw them busy are stale)
+			// and find the next future transition. Commits keep nextFree a
+			// lower bound on unexpired deadlines and outBusy a superset of
+			// the busy ports, so no transition is ever missed.
+			newNext := int64(math.MaxInt64)
+			for m := r.outBusy; m != 0; m &= m - 1 {
+				o := bits.TrailingZeros64(m)
+				if bu := r.Out[o].busyUntil; bu > now {
+					if bu < newNext {
+						newNext = bu
+					}
+				} else {
+					r.dirty |= 1 << uint(o)
+					r.outBusy &^= 1 << uint(o)
+				}
+			}
+			r.nextFree = newNext
+		}
+		window = r.dirty
+		r.dirty = 0
 	}
 	r.grants = r.grants[:0]
-	anyReq := false
-	for ip := range r.In {
+	var ce CacheableEngine
+	if r.cacheOn {
+		ce = engine.(CacheableEngine)
+	}
+	var inPend uint64 // input ports with pending (unmatched) requests
+	for pm := r.readyPorts; pm != 0; pm &= pm - 1 {
+		ip := bits.TrailingZeros64(pm)
 		inp := &r.In[ip]
-		base := int(r.vcBase[ip])
-		busy := inp.Busy(now)
-		for vc := range inp.VCs {
-			slot := &r.reqs[base+vc]
-			slot.valid = false
-			if busy {
+		if inp.Busy(now) {
+			if r.cacheOn {
+				// This port's live entries miss the current window; bank it
+				// so their next validation sees every skipped invalidation.
+				r.pendingDirty[ip] |= window
+			}
+			continue
+		}
+		d := window
+		fbit := uint64(1) << uint(ip)
+		if r.cacheOn {
+			if r.pendingDirty[ip] != 0 {
+				d |= r.pendingDirty[ip]
+				r.pendingDirty[ip] = 0
+			}
+			if r.formed&fbit != 0 && r.headChanged&fbit == 0 &&
+				r.portDep[ip]&d == 0 && now < r.portExp[ip] {
+				// Whole-port replay: every ready VC would hit with the same
+				// outcome, so the stored request mask is the loop's result.
+				if m := r.portReqM[ip]; m != 0 {
+					r.reqMask[ip] = m
+					inPend |= fbit
+				}
 				continue
 			}
+			r.headChanged &^= fbit
+		}
+		base := int(r.vcBase[ip])
+		var reqM, depOr uint64
+		minExp := int64(math.MaxInt64)
+		cacheable := r.cacheOn
+		for m := inp.ready; m != 0; m &= m - 1 {
+			vc := bits.TrailingZeros64(m)
 			buf := &inp.VCs[vc]
-			if buf.Draining() || buf.Len() == 0 {
+			if r.cacheOn && buf.cValid && now < buf.cExpire && buf.cMask&d == 0 {
+				if buf.cOK { // replay: the reqs slot still holds the request
+					reqM |= 1 << uint(vc)
+				}
+				depOr |= buf.cMask
+				if buf.cExpire < minExp {
+					minExp = buf.cExpire
+				}
 				continue
 			}
 			p := buf.Head()
 			if p.BlockedSince < 0 {
 				p.BlockedSince = now
 			}
-			req, ok := engine.Route(r, InCtx{
+			in := InCtx{
 				Port: ip, VC: vc, Kind: inp.Kind,
 				Escape: buf.Escape, Ring: int(buf.Ring),
-			}, p, now)
-			if !ok {
-				continue
+				MinHint: buf.cMin,
 			}
-			slot.valid = true
-			slot.r = req
-			anyReq = true
+			rngBefore := r.rngDraws
+			req, ok := engine.Route(r, in, p, now)
+			if r.cacheOn {
+				mask, expire, minPort := ce.RouteDeps(r, in, p, now)
+				buf.cMin = minPort // per-head anchor; survives invalidation
+				if r.rngDraws == rngBefore {
+					buf.cMask = mask
+					buf.cExpire = expire
+					buf.cOK = ok
+					buf.cValid = true
+					depOr |= mask
+					if expire < minExp {
+						minExp = expire
+					}
+				} else {
+					// The decision consumed randomness; replaying it would
+					// skip the draws and desynchronize the RNG stream.
+					buf.cValid = false
+					cacheable = false
+				}
+			}
+			if ok {
+				r.reqs[base+vc] = req
+				reqM |= 1 << uint(vc)
+			}
+		}
+		if cacheable {
+			r.formed |= fbit
+			r.portDep[ip] = depOr
+			r.portExp[ip] = minExp
+			r.portReqM[ip] = reqM
+		} else {
+			r.formed &^= fbit
+		}
+		if reqM != 0 {
+			r.reqMask[ip] = reqM
+			inPend |= 1 << uint(ip)
 		}
 	}
-	if !anyReq {
+	if inPend == 0 {
 		return r.grants
 	}
 
+	// outAvail starts as the non-busy outputs and loses each granted port,
+	// which is exactly the old matchedOut ∪ Busy skip set: port busy state
+	// only changes mid-cycle through grants. Under cacheOn the expiry scan
+	// above has made outBusy exact for this cycle, so the rebuild is a
+	// complement.
+	var outAvail uint64
+	if r.cacheOn {
+		outAvail = ^r.outBusy & r.allOut
+	} else {
+		for op := range r.Out {
+			if !r.Out[op].Busy(now) {
+				outAvail |= 1 << uint(op)
+			}
+		}
+	}
 	for iter := 0; iter < r.AllocIters; iter++ {
 		// Input arbitration: each unmatched input port nominates its
 		// least-recently-served VC whose requested output is still free.
 		r.touchedOut = r.touchedOut[:0]
 		progress := false
-		for ip := range r.In {
-			if r.matchedIn[ip] || r.In[ip].Busy(now) {
-				continue
-			}
+		for pm := inPend; pm != 0; pm &= pm - 1 {
+			ip := bits.TrailingZeros64(pm)
 			base := int(r.vcBase[ip])
-			n := len(r.In[ip].VCs)
 			arb := r.inArb[ip].lastServed
 			best := -1
 			var bestT int64
-			for vc := 0; vc < n; vc++ {
-				s := &r.reqs[base+vc]
-				if !s.valid {
-					continue
-				}
-				if r.matchedOut[s.r.Out] || r.Out[s.r.Out].Busy(now) {
+			for vm := r.reqMask[ip]; vm != 0; vm &= vm - 1 {
+				vc := bits.TrailingZeros64(vm)
+				if outAvail&(1<<uint(r.reqs[base+vc].Out)) == 0 {
 					continue
 				}
 				if best == -1 || arb[vc] < bestT {
@@ -602,32 +814,35 @@ func (r *Router) Cycle(engine Engine, now int64) []Grant {
 			if best < 0 {
 				continue
 			}
-			out := r.reqs[base+best].r.Out
+			out := r.reqs[base+best].Out
 			r.candVC[ip] = int32(best)
-			if len(r.outCand[out]) == 0 {
+			if r.outCandMask[out] == 0 {
 				r.touchedOut = append(r.touchedOut, int32(out))
 			}
-			r.outCand[out] = append(r.outCand[out], int32(ip))
+			r.outCandMask[out] |= 1 << uint(ip)
 			progress = true
 		}
 		if !progress {
 			break
 		}
 		// Output arbitration: each free output grants its least-recently-
-		// served requesting input.
+		// served requesting input. touchedOut preserves first-touch order
+		// (== the old candidate-list creation order), and ascending-bit
+		// iteration of the candidate mask matches the old append order, so
+		// grants commit in the exact same sequence.
 		granted := false
 		for _, out32 := range r.touchedOut {
 			op := int(out32)
-			list := r.outCand[op]
-			r.outCand[op] = list[:0]
-			if r.matchedOut[op] {
+			cm := r.outCandMask[op]
+			r.outCandMask[op] = 0
+			if outAvail&(1<<uint(op)) == 0 {
 				continue
 			}
 			arb := r.outArb[op].lastServed
 			best := -1
 			var bestT int64
-			for _, ip32 := range list {
-				ip := int(ip32)
+			for ; cm != 0; cm &= cm - 1 {
+				ip := bits.TrailingZeros64(cm)
 				if arb[ip] < bestT || best == -1 {
 					best, bestT = ip, arb[ip]
 				}
@@ -636,11 +851,11 @@ func (r *Router) Cycle(engine Engine, now int64) []Grant {
 				continue
 			}
 			vc := int(r.candVC[best])
-			r.matchedIn[best] = true
-			r.matchedOut[op] = true
+			inPend &^= 1 << uint(best)
+			outAvail &^= 1 << uint(op)
 			r.inArb[best].Grant(vc, now)
 			r.outArb[op].Grant(best, now)
-			r.commit(best, vc, r.reqs[int(r.vcBase[best])+vc].r, now)
+			r.commit(best, vc, r.reqs[int(r.vcBase[best])+vc], now)
 			granted = true
 		}
 		if !granted {
@@ -659,10 +874,23 @@ func (r *Router) commit(ip, vc int, req Request, now int64) {
 	p := buf.Head()
 	buf.BeginDrain()
 	r.readyVCs-- // the head drains; anything queued behind it must wait
+	inp.ready &^= 1 << uint(vc)
+	if inp.ready == 0 {
+		r.readyPorts &^= 1 << uint(ip)
+	}
 	size := int64(p.Size)
 	inp.busyUntil = now + size
 	out := &r.Out[req.Out]
 	out.busyUntil = now + size
+	if r.cacheOn {
+		// Credits and/or busy status of the output changed (ejection still
+		// goes busy), and the port will cross back to free at now+size.
+		r.dirty |= 1 << uint(req.Out)
+		r.outBusy |= 1 << uint(req.Out)
+		if bu := now + size; bu < r.nextFree {
+			r.nextFree = bu
+		}
+	}
 	eject := out.Kind == topology.PortNode
 	if !eject {
 		out.Take(req.VC, p.Size)

@@ -30,7 +30,7 @@ func BenchmarkCycleLoaded(b *testing.B) {
 		for vc := range r.In[ip].VCs {
 			p := pool.Get()
 			p.Size = 8
-			r.In[ip].VCs[vc].Push(p)
+			r.Arrive(ip, vc, p)
 		}
 	}
 	eng := scriptEngine{route: func(rt *Router, in InCtx, p *packet.Packet, now int64) (Request, bool) {
@@ -47,7 +47,7 @@ func BenchmarkCycleLoaded(b *testing.B) {
 				buf := &r.In[ip].VCs[vc]
 				if buf.Draining() {
 					p, _, _ := r.FinishDrain(ip, vc)
-					buf.Push(p) // requeue at the tail
+					r.Arrive(ip, vc, p) // requeue at the tail
 				}
 			}
 		}

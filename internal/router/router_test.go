@@ -51,7 +51,9 @@ func push(r *Router, port, vc int, pool *packet.Pool) *packet.Packet {
 	p := pool.Get()
 	p.Size = 8
 	p.Dst = 0
-	r.In[port].VCs[vc].Push(p)
+	// Arrive, not a raw buffer Push: Cycle iterates the per-port ready
+	// bitsets, which only the router's own entry points maintain.
+	r.Arrive(port, vc, p)
 	return p
 }
 

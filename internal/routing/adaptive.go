@@ -85,8 +85,14 @@ func (e *UGAL) AtInjection(rt *router.Router, p *packet.Packet, _ int64) {
 }
 
 // Route implements router.Engine.
-func (e *UGAL) Route(rt *router.Router, _ router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
-	return routeFixed(e.d, rt, p, now)
+func (e *UGAL) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	return routeFixed(e.d, rt, in, p, now)
+}
+
+// RouteDeps implements router.CacheableEngine (UGAL's adaptivity lives
+// entirely in AtInjection; in transit it is a fixed-path engine).
+func (e *UGAL) RouteDeps(rt *router.Router, in router.InCtx, p *packet.Packet, _ int64) (uint64, int64, int32) {
+	return fixedDeps(e.d, rt, in, p)
 }
 
 // PB is the Piggybacking mechanism (Jiang et al., ISCA 2009): UGAL-L
@@ -134,6 +140,13 @@ func (e *PB) AtInjection(rt *router.Router, p *packet.Packet, now int64) {
 }
 
 // Route implements router.Engine.
-func (e *PB) Route(rt *router.Router, _ router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
-	return routeFixed(e.d, rt, p, now)
+func (e *PB) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	return routeFixed(e.d, rt, in, p, now)
+}
+
+// RouteDeps implements router.CacheableEngine. PB reads its congestion
+// flags only at injection time, never in Route, so the delayed FlagBoard
+// view needs no epoch coverage — in transit PB is a fixed-path engine.
+func (e *PB) RouteDeps(rt *router.Router, in router.InCtx, p *packet.Packet, _ int64) (uint64, int64, int32) {
+	return fixedDeps(e.d, rt, in, p)
 }

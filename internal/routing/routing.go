@@ -7,6 +7,8 @@
 package routing
 
 import (
+	"math"
+
 	"ofar/internal/packet"
 	"ofar/internal/router"
 	"ofar/internal/topology"
@@ -36,10 +38,22 @@ func nextOut(d *topology.Dragonfly, r int, p *packet.Packet) int {
 	return d.MinimalPort(r, p.Dst)
 }
 
+// fixedOut resolves the committed output port of a baseline packet, using
+// the router's cached per-head hint (router.InCtx.MinHint) to skip the
+// topology lookup when available. The hint is safe because everything
+// nextOut reads — the packet's Valiant state and this router's group — is
+// fixed while the packet sits at a buffer head.
+func fixedOut(d *topology.Dragonfly, rt *router.Router, in router.InCtx, p *packet.Packet) int {
+	if in.MinHint >= 0 {
+		return int(in.MinHint)
+	}
+	return nextOut(d, rt.ID, p)
+}
+
 // routeFixed implements Route for every baseline: follow the committed path,
 // wait when the required port/VC cannot accept the packet.
-func routeFixed(d *topology.Dragonfly, rt *router.Router, p *packet.Packet, now int64) (router.Request, bool) {
-	out := nextOut(d, rt.ID, p)
+func routeFixed(d *topology.Dragonfly, rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	out := fixedOut(d, rt, in, p)
 	if rt.OutBusy(out, now) {
 		return router.Request{}, false
 	}
@@ -48,6 +62,16 @@ func routeFixed(d *topology.Dragonfly, rt *router.Router, p *packet.Packet, now 
 		return router.Request{}, false
 	}
 	return router.Request{Out: out, VC: vc}, true
+}
+
+// fixedDeps implements router.CacheableEngine's RouteDeps for the fixed-path
+// baselines. The engines are stateless and shared across pool workers, so
+// rather than recording reads during Route they re-derive them here: the
+// only output port routeFixed consults is the committed one, the decision is
+// time-independent, and the committed port doubles as the per-head anchor.
+func fixedDeps(d *topology.Dragonfly, rt *router.Router, in router.InCtx, p *packet.Packet) (uint64, int64, int32) {
+	out := fixedOut(d, rt, in, p)
+	return 1 << uint(out), math.MaxInt64, int32(out)
 }
 
 // pickIntermediate selects a random intermediate group different from both
@@ -91,8 +115,13 @@ func (e *Minimal) Name() string { return "MIN" }
 func (e *Minimal) AtInjection(*router.Router, *packet.Packet, int64) {}
 
 // Route implements router.Engine.
-func (e *Minimal) Route(rt *router.Router, _ router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
-	return routeFixed(e.d, rt, p, now)
+func (e *Minimal) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	return routeFixed(e.d, rt, in, p, now)
+}
+
+// RouteDeps implements router.CacheableEngine.
+func (e *Minimal) RouteDeps(rt *router.Router, in router.InCtx, p *packet.Packet, _ int64) (uint64, int64, int32) {
+	return fixedDeps(e.d, rt, in, p)
 }
 
 // Valiant is the VAL mechanism: every packet visits a random intermediate
@@ -111,6 +140,11 @@ func (e *Valiant) AtInjection(rt *router.Router, p *packet.Packet, _ int64) {
 }
 
 // Route implements router.Engine.
-func (e *Valiant) Route(rt *router.Router, _ router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
-	return routeFixed(e.d, rt, p, now)
+func (e *Valiant) Route(rt *router.Router, in router.InCtx, p *packet.Packet, now int64) (router.Request, bool) {
+	return routeFixed(e.d, rt, in, p, now)
+}
+
+// RouteDeps implements router.CacheableEngine.
+func (e *Valiant) RouteDeps(rt *router.Router, in router.InCtx, p *packet.Packet, _ int64) (uint64, int64, int32) {
+	return fixedDeps(e.d, rt, in, p)
 }

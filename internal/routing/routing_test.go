@@ -102,7 +102,7 @@ func TestMinimalRouteRequest(t *testing.T) {
 	e := NewMinimal(d)
 	dst := d.Nodes - 1
 	p := newPkt(d, 0, dst)
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode}, p, 0)
 	if !ok {
 		t.Fatal("route refused on an idle router")
 	}
@@ -125,7 +125,7 @@ func TestMinimalWaitsOnFixedVC(t *testing.T) {
 	out := d.MinimalPort(0, dst)
 	// Exhaust VC0 of the minimal port; VC1 keeps credits.
 	rt.Out[out].Take(0, rt.Out[out].Credits(0))
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode}, p, 0); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode}, p, 0); ok {
 		t.Error("baseline used a different VC than its class")
 	}
 }
@@ -311,7 +311,7 @@ func TestPARInTransitDivert(t *testing.T) {
 	diverted := 0
 	for i := 0; i < 50; i++ {
 		q := *p // copy: Route mutates ValiantGroup
-		if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal}, &q, 0); ok || q.ValiantGroup >= 0 {
+		if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal}, &q, 0); ok || q.ValiantGroup >= 0 {
 			if q.ValiantGroup >= 0 {
 				diverted++
 			}
@@ -332,7 +332,7 @@ func TestPARNoDivertAfterGlobalHop(t *testing.T) {
 	for vc := 0; vc < rt.Out[min].NumVCs(); vc++ {
 		rt.Out[min].Take(vc, rt.Out[min].Credits(vc))
 	}
-	if _, ok := e.Route(rt, router.InCtx{Kind: topology.PortLocal}, p, 0); ok {
+	if _, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortLocal}, p, 0); ok {
 		t.Error("PAR moved through a saturated port")
 	}
 	if p.ValiantGroup >= 0 {
@@ -381,7 +381,7 @@ func TestValiantRouteFollowsCommittedPath(t *testing.T) {
 	e := NewValiant(d)
 	p := newPkt(d, 0, d.Nodes-1)
 	p.ValiantGroup = 4
-	req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode}, p, 0)
+	req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode}, p, 0)
 	if !ok {
 		t.Fatal("route refused")
 	}
@@ -395,7 +395,7 @@ func TestUGALAndPBRouteAreFixed(t *testing.T) {
 	rt := buildRouter(t, d, 0, nil)
 	p := newPkt(d, 0, d.Nodes-1)
 	for _, e := range []router.Engine{NewUGAL(d, DefaultAdaptiveConfig()), NewPB(d, DefaultAdaptiveConfig())} {
-		req, ok := e.Route(rt, router.InCtx{Kind: topology.PortNode}, p, 0)
+		req, ok := e.Route(rt, router.InCtx{MinHint: -1, Kind: topology.PortNode}, p, 0)
 		if !ok || req.Out != d.MinimalPort(0, p.Dst) {
 			t.Errorf("%s route %+v ok=%v", e.Name(), req, ok)
 		}
