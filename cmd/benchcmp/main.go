@@ -33,9 +33,17 @@ func load(path string) ([]result, map[string]result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Two wire formats: the bare array, or (when benchjson was given -note)
+	// an object wrapping the rows with annotations. Notes never diff.
 	var rs []result
 	if err := json.Unmarshal(data, &rs); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		var doc struct {
+			Benchmarks []result `json:"benchmarks"`
+		}
+		if err2 := json.Unmarshal(data, &doc); err2 != nil || doc.Benchmarks == nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		rs = doc.Benchmarks
 	}
 	byName := make(map[string]result, len(rs))
 	for _, r := range rs {

@@ -14,6 +14,10 @@
 // time is the least-interference estimate on a noisy shared machine, while
 // maximum allocs keeps the committed zero-alloc claim honest — a single
 // allocating run must show. Iterations accumulate across the folded runs.
+//
+// Each -note flag (repeatable) attaches a free-form annotation; with notes
+// the document becomes {"notes": [...], "benchmarks": [...]} instead of the
+// bare array, which cmd/benchcmp reads either way.
 package main
 
 import (
@@ -73,6 +77,8 @@ func main() {
 	// flags keep the whole bench pipeline attributable without code edits.
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+	var notes notesFlag
+	flag.Var(&notes, "note", "annotation recorded in the document (repeatable)")
 	flag.Parse()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -135,8 +141,21 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(results); err != nil {
+	var doc any = results
+	if len(notes) > 0 {
+		doc = struct {
+			Notes      []string `json:"notes"`
+			Benchmarks []Result `json:"benchmarks"`
+		}{notes, results}
+	}
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
+
+// notesFlag collects repeated -note values.
+type notesFlag []string
+
+func (n *notesFlag) String() string     { return strings.Join(*n, "; ") }
+func (n *notesFlag) Set(s string) error { *n = append(*n, s); return nil }

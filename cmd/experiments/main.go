@@ -36,6 +36,21 @@ type scale struct {
 	workers int    // intra-network router-stage pool workers (0/1 = serial)
 	cutover int    // serial/parallel cutover (0 = auto-calibrate)
 	faults  []ofar.Fault
+	ckptDir string // when non-empty, write per-point warm snapshots here
+	restDir string // when non-empty, restore warm snapshots from here
+}
+
+// sweep runs one load sweep through the warm-fork driver, with the warm
+// cache when -checkpoint/-restore are set. Rows are bit-identical to the
+// classic per-point runs either way.
+func (sc scale) sweep(cfg ofar.Config, ps ofar.PatternSpec, loads []float64) ([]ofar.SteadyResult, error) {
+	rs, st, err := ofar.RunLoadSweepOpt(cfg, ps, loads, sc.warmup, sc.measure,
+		ofar.SweepOptions{CheckpointDir: sc.ckptDir, RestoreDir: sc.restDir})
+	if err == nil && (sc.ckptDir != "" || sc.restDir != "") {
+		fmt.Fprintf(os.Stderr, "experiments: %s %s: warm cache: %d restored (%d warmup cycles skipped), %d warmed\n",
+			cfg.Routing, ps.Name(), st.Restored, st.WarmupCyclesSkipped, st.Warmed)
+	}
+	return rs, err
 }
 
 func main() {
@@ -51,9 +66,11 @@ func main() {
 		work   = flag.Int("workers", 0, "router-stage pool workers per network (0/1 = serial; bit-identical results, useful at h=6)")
 		cut    = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto)")
 		faults = flag.String("faults", "", "fault schedule applied to every run: a JSON file of Fault objects, or inline like link@5000:12:7")
+		ckpt   = flag.String("checkpoint", "", "directory to write per-point warm snapshots into (reuse with -restore)")
+		rest   = flag.String("restore", "", "directory of warm snapshots: sweep points found there skip warmup, bit-identically")
 	)
 	flag.Parse()
-	sc := scale{h: *h, warmup: *warm, measure: *meas, burst: *burst, maxCyc: 50_000_000, seed: *seed, svgDir: *svgDir, workers: *work, cutover: *cut}
+	sc := scale{h: *h, warmup: *warm, measure: *meas, burst: *burst, maxCyc: 50_000_000, seed: *seed, svgDir: *svgDir, workers: *work, cutover: *cut, ckptDir: *ckpt, restDir: *rest}
 	if *faults != "" {
 		fs, err := ofar.LoadFaults(*faults)
 		check(err)
@@ -152,9 +169,9 @@ func fig9m(sc scale, points int) {
 		cfg.Congestion.Threshold = 0.5
 		return cfg
 	}
-	plain, err := ofar.RunLoadSweepParallel(mk(false), ps, loads, sc.warmup, sc.measure, 0)
+	plain, err := sc.sweep(mk(false), ps, loads)
 	check(err)
-	managed, err := ofar.RunLoadSweepParallel(mk(true), ps, loads, sc.warmup, sc.measure, 0)
+	managed, err := sc.sweep(mk(true), ps, loads)
 	check(err)
 	fmt.Printf("%-8s %14s %14s\n", "load", "unmanaged", "managed")
 	ch := &plot.Chart{Title: "Fig. 9 scenario + congestion management (" + ps.Name() + ")",
@@ -302,7 +319,7 @@ func sweepFigure(sc scale, id, title string, ps ofar.PatternSpec, maxLoad float6
 	fmt.Println()
 	results := make(map[ofar.Routing][]ofar.SteadyResult)
 	for _, rt := range routings {
-		rs, err := ofar.RunLoadSweepParallel(cfgFor(sc, rt), ps, loads, sc.warmup, sc.measure, 0)
+		rs, err := sc.sweep(cfgFor(sc, rt), ps, loads)
 		check(err)
 		results[rt] = rs
 	}
@@ -442,9 +459,9 @@ func fig8(sc scale, points int) {
 		cfgP.Ring = ofar.RingPhysical
 		cfgE := cfgFor(sc, ofar.OFAR)
 		cfgE.Ring = ofar.RingEmbedded
-		rp, err := ofar.RunLoadSweepParallel(cfgP, ps, loads, sc.warmup, sc.measure, 0)
+		rp, err := sc.sweep(cfgP, ps, loads)
 		check(err)
-		re, err := ofar.RunLoadSweepParallel(cfgE, ps, loads, sc.warmup, sc.measure, 0)
+		re, err := sc.sweep(cfgE, ps, loads)
 		check(err)
 		ch := &plot.Chart{Title: "Fig. 8 — " + ps.Name() + " physical vs embedded ring",
 			XLabel: "offered load", YLabel: "accepted (phits/node/cycle)"}
@@ -478,9 +495,9 @@ func fig9(sc scale, points int) {
 		red := cfgFor(sc, ofar.OFAR)
 		red.Ring = ofar.RingEmbedded
 		red.LocalVCs, red.GlobalVCs, red.InjVCs = 2, 1, 2
-		rf, err := ofar.RunLoadSweepParallel(full, ps, loads, sc.warmup, sc.measure, 0)
+		rf, err := sc.sweep(full, ps, loads)
 		check(err)
-		rr, err := ofar.RunLoadSweepParallel(red, ps, loads, sc.warmup, sc.measure, 0)
+		rr, err := sc.sweep(red, ps, loads)
 		check(err)
 		ch := &plot.Chart{Title: "Fig. 9 — " + ps.Name() + " with reduced VCs",
 			XLabel: "offered load", YLabel: "accepted (phits/node/cycle)"}

@@ -36,6 +36,8 @@ func main() {
 		escapeTO = flag.Int("escape-timeout", 32, "blocked cycles before requesting the escape ring")
 		faults   = flag.String("faults", "", "fault schedule: a JSON file of Fault objects, or inline like link@5000:12:7,router@20000:3")
 		workers  = flag.Int("workers", 0, "intra-cycle router-stage workers on a persistent pool (0/1 = serial; results are bit-identical)")
+		ckpt     = flag.String("checkpoint", "", "write the post-warmup network snapshot to this file (resume later with -restore)")
+		restore  = flag.String("restore", "", "resume from a warm snapshot file instead of simulating warmup (same config and physics required; results are bit-identical)")
 		cutover  = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto-calibrate from -workers)")
 		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
 		confPath = flag.String("config", "", "load the full network config from a JSON file (overrides topology/router flags)")
@@ -138,9 +140,55 @@ func main() {
 		fatal("%v", err)
 	}
 
-	res, err := ofar.RunSteady(cfg, ps, *load, *warmup, *measure)
-	if err != nil {
-		fatal("simulation failed: %v", err)
+	var res ofar.SteadyResult
+	if *ckpt == "" && *restore == "" {
+		var err error
+		res, err = ofar.RunSteady(cfg, ps, *load, *warmup, *measure)
+		if err != nil {
+			fatal("simulation failed: %v", err)
+		}
+	} else {
+		// Checkpoint/restore path: hold the warm state explicitly. A
+		// measurement off it is bit-identical to RunSteady above.
+		var w *ofar.WarmState
+		if *restore != "" {
+			f, err := os.Open(*restore)
+			if err != nil {
+				fatal("%v", err)
+			}
+			w, err = ofar.WarmFromSnapshot(cfg, ps, *load, f)
+			f.Close()
+			if err != nil {
+				fatal("restoring %s: %v", *restore, err)
+			}
+		} else {
+			var err error
+			w, err = ofar.Warm(cfg, ps, *load, *warmup)
+			if err != nil {
+				fatal("simulation failed: %v", err)
+			}
+		}
+		if *ckpt != "" {
+			f, err := os.Create(*ckpt)
+			if err != nil {
+				w.Close()
+				fatal("%v", err)
+			}
+			err = w.Snapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				w.Close()
+				fatal("writing checkpoint %s: %v", *ckpt, err)
+			}
+		}
+		var err error
+		res, err = w.Measure(*measure)
+		w.Close()
+		if err != nil {
+			fatal("simulation failed: %v", err)
+		}
 	}
 	if *quiet {
 		fmt.Printf("%s,%s,%.3f,%.2f,%.4f,%d,%d,%d,%d\n",

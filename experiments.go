@@ -54,13 +54,21 @@ func RunSteady(cfg Config, ps PatternSpec, load float64, warmup, measure int) (S
 	n.SetGenerator(traffic.NewBernoulli(pattern, load, cfg.PacketSize))
 	n.Stats.EnableHistogram()
 	n.Run(warmup)
+	return measureSteady(n, pattern.Name(), load, measure)
+}
+
+// measureSteady runs the measurement window on an already-warm network and
+// collects the steady-state result. It is the shared tail of RunSteady and
+// WarmState.Measure: the two paths must stay field-for-field identical, which
+// is what lets a warm-fork sweep report the same rows as a classic one.
+func measureSteady(n *network.Network, pattern string, load float64, measure int) (SteadyResult, error) {
 	base := n.Stats
 	ringEnters0, gm0, lm0, rx0 := base.RingEnters, base.GlobalMisroutes, base.LocalMisroutes, base.RingExits
 	base.StartMeasurement(n.Now())
 	n.Run(measure)
 	res := SteadyResult{
-		Routing:         cfg.Routing,
-		Pattern:         pattern.Name(),
+		Routing:         n.Cfg.Routing,
+		Pattern:         pattern,
 		Load:            load,
 		AvgLatency:      base.AvgLatency(),
 		AvgNetLatency:   base.AvgNetworkLatency(),
@@ -87,11 +95,15 @@ func RunSteady(cfg Config, ps PatternSpec, load float64, warmup, measure int) (S
 	return res, nil
 }
 
-// RunLoadSweep runs RunSteady for each load, reusing the configuration.
+// RunLoadSweep runs one steady-state point per load, reusing the
+// configuration. Each point warms a parent network once and measures on a
+// fork of it (see WarmState), which is bit-identical to the classic
+// warm-then-measure run and leaves the warm state reusable — pass a warm
+// cache via RunLoadSweepOpt to skip warmup entirely on later invocations.
 func RunLoadSweep(cfg Config, ps PatternSpec, loads []float64, warmup, measure int) ([]SteadyResult, error) {
 	out := make([]SteadyResult, 0, len(loads))
 	for _, l := range loads {
-		r, err := RunSteady(cfg, ps, l, warmup, measure)
+		r, _, err := sweepPoint(cfg, ps, l, warmup, measure, SweepOptions{})
 		if err != nil {
 			return out, err
 		}
@@ -121,6 +133,42 @@ func RunLoadSweep(cfg Config, ps PatternSpec, loads []float64, warmup, measure i
 // network is saturated and every pool busy — further capped by an explicit
 // caller budget only when that budget is smaller.
 func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, measure, workers int) ([]SteadyResult, error) {
+	out, _, err := RunLoadSweepOpt(cfg, ps, loads, warmup, measure, SweepOptions{Parallel: workers})
+	return out, err
+}
+
+// SweepOptions tunes the load-sweep driver beyond the classic signatures.
+type SweepOptions struct {
+	// Parallel bounds the number of concurrently simulated points
+	// (RunLoadSweepParallel semantics; ≤ 0 derives the bound from
+	// GOMAXPROCS and cfg.Workers). RunLoadSweep uses a serial loop.
+	Parallel int
+	// CheckpointDir, when non-empty, receives one warm-state snapshot per
+	// sweep point, keyed by (normalized config, pattern, load, warmup).
+	CheckpointDir string
+	// RestoreDir, when non-empty, is searched for those snapshots first: a
+	// hit skips the point's warmup entirely, a miss (or a stale/corrupt
+	// entry — e.g. written by a build with different physics) falls back to
+	// warming from cycle 0. Point the two at the same directory to get a
+	// persistent warm cache across invocations.
+	RestoreDir string
+}
+
+// SweepStats reports how much warm-up work a sweep actually did — the
+// observable benefit of the warm cache.
+type SweepStats struct {
+	Warmed              int   // points that simulated their warmup phase
+	Restored            int   // points resumed from a warm snapshot
+	WarmupCyclesRun     int64 // cycles spent warming
+	WarmupCyclesSkipped int64 // cycles the cache saved
+}
+
+// RunLoadSweepOpt is the load sweep with explicit options: concurrency and an
+// optional disk warm cache. Results are bit-identical to RunLoadSweep and to
+// the classic per-point RunSteady, whichever path each point takes — restored
+// warm state is the same state, byte for byte.
+func RunLoadSweepOpt(cfg Config, ps PatternSpec, loads []float64, warmup, measure int, opt SweepOptions) ([]SteadyResult, SweepStats, error) {
+	workers := opt.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -130,6 +178,7 @@ func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, m
 	}
 	out := make([]SteadyResult, len(loads))
 	errs := make([]error, len(loads))
+	restored := make([]bool, len(loads))
 	sem := make(chan struct{}, nets)
 	var wg sync.WaitGroup
 	for i, l := range loads {
@@ -138,16 +187,26 @@ func RunLoadSweepParallel(cfg Config, ps PatternSpec, loads []float64, warmup, m
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = RunSteady(cfg, ps, load, warmup, measure)
+			out[i], restored[i], errs[i] = sweepPoint(cfg, ps, load, warmup, measure, opt)
 		}(i, l)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
+	var st SweepStats
+	for _, r := range restored {
+		if r {
+			st.Restored++
+			st.WarmupCyclesSkipped += int64(warmup)
+		} else {
+			st.Warmed++
+			st.WarmupCyclesRun += int64(warmup)
 		}
 	}
-	return out, nil
+	for _, err := range errs {
+		if err != nil {
+			return out, st, err
+		}
+	}
+	return out, st, nil
 }
 
 // SaturationLoad estimates the saturation throughput of a configuration

@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // goldenDoc is the serialized form of a run's event stream: the first
 // goldenHead grant events verbatim, plus the FNV-1a digest and event count
 // covering the *entire* stream (every grant and every delivery of the first
-// goldenCycles cycles), so a refactor that changes any event anywhere —
+// Cycles cycles), so a refactor that changes any event anywhere —
 // not just in the head — breaks byte-equality.
 type goldenDoc struct {
 	Network string       `json:"network"`
@@ -31,32 +31,63 @@ type goldenDoc struct {
 	Head    []GrantEvent `json:"head"`
 }
 
-const (
-	goldenCycles = 2000
-	goldenHead   = 256
-)
+const goldenHead = 256
 
-func goldenRun(t *testing.T, load float64, workers int, noSched, noCache bool, faults []Fault) []byte {
+// goldenSpec pins one golden scenario: the dragonfly size, the traced
+// window, the offered load and an optional fault schedule.
+type goldenSpec struct {
+	h      int
+	cycles int
+	load   float64
+	faults []Fault
+}
+
+// goldenRun executes one engine variant of a golden scenario and returns the
+// serialized event-stream document. snapAt > 0 additionally round-trips the
+// run through Snapshot/Restore at that cycle: the first snapAt cycles run in
+// one network, the rest in a freshly built network restored from its
+// snapshot — the document must come out identical, which pins the
+// checkpoint layer to the same golden contract as the engines.
+func goldenRun(t *testing.T, spec goldenSpec, workers int, noSched, noCache bool, snapAt int) []byte {
 	t.Helper()
-	cfg := DefaultConfig(3)
+	cfg := DefaultConfig(spec.h)
 	cfg.Seed = 12345
 	cfg.Workers = workers
 	cfg.DisableActivitySched = noSched
 	cfg.DisableRouteCache = noCache
-	cfg.Faults = faults
+	cfg.Faults = spec.faults
+	attach := func(n *Network) {
+		n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), spec.load, cfg.PacketSize))
+	}
 	n := mustNet(t, cfg)
-	defer n.Close()
-	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
+	t.Cleanup(n.Close)
+	attach(n)
 	n.EnableGrantLog(goldenHead)
-	n.Run(goldenCycles)
+	if snapAt > 0 && snapAt < spec.cycles {
+		n.Run(snapAt)
+		var buf bytes.Buffer
+		if err := n.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m := mustNet(t, cfg)
+		t.Cleanup(m.Close)
+		attach(m)
+		if err := m.Restore(&buf); err != nil {
+			t.Fatal(err)
+		}
+		n = m
+		n.Run(spec.cycles - snapAt)
+	} else {
+		n.Run(spec.cycles)
+	}
 	digest, events := n.GrantDigest()
 	doc := goldenDoc{
 		Network: fmt.Sprintf("h=%d p=%d a=%d groups=%d", cfg.H, cfg.P, cfg.A, n.Topo.G),
 		Routing: string(cfg.Routing),
 		Seed:    cfg.Seed,
-		Load:    load,
-		Cycles:  goldenCycles,
-		Faults:  faults,
+		Load:    spec.load,
+		Cycles:  spec.cycles,
+		Faults:  spec.faults,
 		Events:  events,
 		Digest:  fmt.Sprintf("%016x", digest),
 		Head:    n.GrantLog(),
@@ -68,13 +99,14 @@ func goldenRun(t *testing.T, load float64, workers int, noSched, noCache bool, f
 	return append(data, '\n')
 }
 
-// checkGolden compares one engine variant's serialized run against the
-// golden file, rewriting the file first when -update-golden is set (only the
-// serial scheduler-on variant rewrites, so a divergence between variants
-// still fails).
-func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
+// checkGolden compares every engine variant's serialized run — serial,
+// parallel, scheduler off, route cache off, and a mid-run snapshot/restore
+// round trip — against the golden file, rewriting the file first when
+// -update-golden is set (only the serial scheduler-on variant rewrites, so a
+// divergence between variants still fails).
+func checkGolden(t *testing.T, path string, spec goldenSpec) {
 	t.Helper()
-	base := goldenRun(t, load, 0, false, false, faults)
+	base := goldenRun(t, spec, 0, false, false, 0)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -93,18 +125,21 @@ func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
 		workers int
 		noSched bool
 		noCache bool
+		snapAt  int
 	}{
-		{"serial", 0, false, false},
-		{"serial-nosched", 0, true, false},
-		{"serial-nocache", 0, false, true},
-		{"workers4", 4, false, false},
-		{"workers4-nosched", 4, true, false},
-		{"workers4-nocache", 4, false, true},
+		{name: "serial"},
+		{name: "serial-nosched", noSched: true},
+		{name: "serial-nocache", noCache: true},
+		{name: "workers4", workers: 4},
+		{name: "workers4-nosched", workers: 4, noSched: true},
+		{name: "workers4-nocache", workers: 4, noCache: true},
+		{name: "snapshot-restore", snapAt: spec.cycles / 2},
+		{name: "snapshot-restore-workers4", workers: 4, snapAt: spec.cycles / 2},
 	}
 	for _, v := range variants {
 		got := base
-		if v.workers != 0 || v.noSched || v.noCache {
-			got = goldenRun(t, load, v.workers, v.noSched, v.noCache, faults)
+		if v.workers != 0 || v.noSched || v.noCache || v.snapAt != 0 {
+			got = goldenRun(t, spec, v.workers, v.noSched, v.noCache, v.snapAt)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+
@@ -116,16 +151,18 @@ func checkGolden(t *testing.T, path string, load float64, faults []Fault) {
 // TestGoldenTraceH3 is the golden-trace regression gate: the first 2000
 // cycles of grant/delivery events of a fixed-seed h=3 OFAR run, serialized
 // to testdata/golden_h3.json, must match byte for byte — for the serial
-// engine, the parallel engine, and both with the activity scheduler
-// disabled. It guards future refactors of the router stage, the allocator,
-// the scheduler's skip logic, the RNG derivation order and the timing
-// wheel, not just the change that introduced it. Regenerate deliberately
+// engine, the parallel engine, both with the activity scheduler or route
+// cache disabled, and a run restored mid-window from a snapshot. It guards
+// future refactors of the router stage, the allocator, the scheduler's skip
+// logic, the RNG derivation order, the timing wheel and the checkpoint
+// layer, not just the change that introduced it. Regenerate deliberately
 // with `go test ./internal/network -run TestGoldenTrace -update-golden`.
 func TestGoldenTraceH3(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
 	}
-	checkGolden(t, filepath.Join("testdata", "golden_h3.json"), 0.2, nil)
+	checkGolden(t, filepath.Join("testdata", "golden_h3.json"),
+		goldenSpec{h: 3, cycles: 2000, load: 0.2})
 }
 
 // TestGoldenTraceH3LowLoad pins the same contract in the regime the
@@ -137,14 +174,17 @@ func TestGoldenTraceH3LowLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
 	}
-	checkGolden(t, filepath.Join("testdata", "golden_h3_low.json"), 0.05, nil)
+	checkGolden(t, filepath.Join("testdata", "golden_h3_low.json"),
+		goldenSpec{h: 3, cycles: 2000, load: 0.05})
 }
 
 // TestGoldenTraceH3Faults pins the faulted event stream: the same h=3 OFAR
 // run with one global link killed at cycle 500. The digest covers every
 // grant, delivery and fault-drop (tag 2), so any change to the teardown
 // ordering, the liveness masks or the degraded routing path breaks
-// byte-equality — across all four engine variants.
+// byte-equality — across all engine variants, including the snapshot round
+// trip (whose restore point lands after the fault fires and must carry the
+// post-teardown structure verbatim).
 func TestGoldenTraceH3Faults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden trace runs 2000 full-size h=3 cycles per engine variant")
@@ -153,5 +193,19 @@ func TestGoldenTraceH3Faults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, filepath.Join("testdata", "golden_h3_faults.json"), 0.2, faults)
+	checkGolden(t, filepath.Join("testdata", "golden_h3_faults.json"),
+		goldenSpec{h: 3, cycles: 2000, load: 0.2, faults: faults})
+}
+
+// TestGoldenTraceH6 pins a short window of the paper's full-size h=6 system
+// (876 routers, 5256 nodes): radix-dependent code paths — port bitsets near
+// their 23-port width, deeper VC fan-in, longer rings — are exercised at a
+// scale the h=3 traces cannot reach. The window is short because each of the
+// engine variants replays it.
+func TestGoldenTraceH6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace runs 250 full-size h=6 cycles per engine variant")
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_h6.json"),
+		goldenSpec{h: 6, cycles: 250, load: 0.2})
 }

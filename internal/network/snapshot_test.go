@@ -1,0 +1,325 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ofar/internal/traffic"
+)
+
+// snapCfg is the small h=2 system the snapshot tests run on: 36 routers,
+// 72 nodes, OFAR with a physical escape ring — every subsystem the snapshot
+// must carry (rings, escape VCs, PB boards are exercised separately).
+func snapCfg(workers int, noSched bool) Config {
+	cfg := DefaultConfig(2)
+	cfg.Seed = 7
+	cfg.Workers = workers
+	cfg.ParallelCutover = 1 // force the pool on every non-empty cycle
+	cfg.DisableActivitySched = noSched
+	return cfg
+}
+
+func snapNet(t *testing.T, cfg Config, load float64) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers > 1 {
+		t.Cleanup(n.Close)
+	}
+	n.EnableGrantDigest()
+	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
+	return n
+}
+
+func snapshotBytes(t *testing.T, n *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// expectSameState asserts bit-for-bit equality of two networks: per-router
+// state fingerprints, the grant digest, and the full canonical snapshot
+// image (which covers stats, buffers, events, rings and generator state).
+func expectSameState(t *testing.T, label string, a, b *Network) {
+	t.Helper()
+	for i := range a.Routers {
+		if fa, fb := a.Routers[i].StateFingerprint(), b.Routers[i].StateFingerprint(); fa != fb {
+			t.Fatalf("%s: router %d fingerprint %016x != %016x", label, i, fa, fb)
+		}
+	}
+	da, ca := a.GrantDigest()
+	db, cb := b.GrantDigest()
+	if da != db || ca != cb {
+		t.Fatalf("%s: grant digest %016x/%d != %016x/%d", label, da, ca, db, cb)
+	}
+	sa, sb := snapshotBytes(t, a), snapshotBytes(t, b)
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("%s: canonical snapshot images differ (%d vs %d bytes)", label, len(sa), len(sb))
+	}
+}
+
+// TestSnapshotDifferential is the restore-equality matrix: for each load ×
+// worker count × scheduler setting, running K cycles, snapshotting and
+// running M more must be bit-identical to restoring that snapshot into a
+// fresh network and running the same M cycles — per-router fingerprints,
+// grant digests and statistics all included.
+func TestSnapshotDifferential(t *testing.T) {
+	const warm, measure = 300, 300
+	loads := []float64{0.05, 0.6, 0.9}
+	workerCounts := []int{1, 4}
+	if testing.Short() {
+		loads = []float64{0.6}
+	}
+	for _, load := range loads {
+		for _, workers := range workerCounts {
+			for _, noSched := range []bool{false, true} {
+				cfg := snapCfg(workers, noSched)
+				sched := "sched"
+				if noSched {
+					sched = "nosched"
+				}
+				name := fmt.Sprintf("load%.2f_w%d_%s", load, workers, sched)
+				t.Run(name, func(t *testing.T) {
+					orig := snapNet(t, cfg, load)
+					orig.Run(warm)
+					snap := snapshotBytes(t, orig)
+					orig.Run(measure)
+
+					restored := snapNet(t, cfg, load)
+					if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+						t.Fatal(err)
+					}
+					restored.Run(measure)
+					expectSameState(t, name, orig, restored)
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotIsPure proves taking a snapshot perturbs nothing: a run that
+// snapshots mid-flight ends bit-identical to one that never did.
+func TestSnapshotIsPure(t *testing.T) {
+	cfg := snapCfg(1, false)
+	a := snapNet(t, cfg, 0.6)
+	a.Run(200)
+	_ = snapshotBytes(t, a) // side-effect-free by contract
+	a.Run(200)
+
+	b := snapNet(t, cfg, 0.6)
+	b.Run(400)
+	expectSameState(t, "pure", a, b)
+}
+
+// TestSnapshotCrossSetting restores a snapshot taken under one execution
+// configuration (parallel, scheduler on, cache on) into networks built with
+// different wall-clock settings: results must stay bit-identical, because
+// those settings are normalized out of the snapshot's config identity.
+func TestSnapshotCrossSetting(t *testing.T) {
+	const warm, measure = 300, 300
+	src := snapCfg(4, false)
+	orig := snapNet(t, src, 0.6)
+	orig.Run(warm)
+	snap := snapshotBytes(t, orig)
+	orig.Run(measure)
+
+	variants := []Config{
+		snapCfg(1, true), // serial, scheduler off
+		func() Config {
+			c := snapCfg(1, false)
+			c.DisableRouteCache = true
+			return c
+		}(),
+	}
+	for i, cfg := range variants {
+		restored := snapNet(t, cfg, 0.6)
+		if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		restored.Run(measure)
+		expectSameState(t, "cross-setting", orig, restored)
+	}
+}
+
+// TestSnapshotWithFaults covers the hardest restore surface: a router fault
+// before the snapshot point (ring splice surgery, dead masks, dropped
+// packets) and another fault after it (the restored fault cursor must fire
+// it on time).
+func TestSnapshotWithFaults(t *testing.T) {
+	cfg := snapCfg(1, false)
+	cfg.Faults = []Fault{
+		{Cycle: 100, Kind: FaultRouter, Router: 5},
+		{Cycle: 450, Kind: FaultLink, Router: 11, Port: cfg.P},
+	}
+	orig := snapNet(t, cfg, 0.6)
+	orig.Run(300)
+	snap := snapshotBytes(t, orig)
+	orig.Run(300)
+
+	restored := snapNet(t, cfg, 0.6)
+	if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(300)
+	expectSameState(t, "faults", orig, restored)
+	if got := restored.DeadRouters(); got != 1 {
+		t.Fatalf("restored network reports %d dead routers, want 1", got)
+	}
+	if orig.FaultsApplied() != restored.FaultsApplied() {
+		t.Fatalf("fault cursors diverged: %d vs %d", orig.FaultsApplied(), restored.FaultsApplied())
+	}
+}
+
+// TestSnapshotBurstGenerator proves stateful generator progress restores:
+// a burst source's per-node budgets continue exactly where they stopped.
+func TestSnapshotBurstGenerator(t *testing.T) {
+	cfg := snapCfg(1, false)
+	mkGen := func(n *Network) *traffic.Burst {
+		return traffic.NewBurst(traffic.NewUniform(n.Topo), 4, n.Topo.Nodes)
+	}
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.EnableGrantDigest()
+	orig.SetGenerator(mkGen(orig))
+	orig.Run(200)
+	snap := snapshotBytes(t, orig)
+	orig.Run(400)
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.EnableGrantDigest()
+	restored.SetGenerator(mkGen(restored))
+	if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(400)
+	expectSameState(t, "burst", orig, restored)
+}
+
+// TestSnapshotGrantLogRestores proves the grant log and its cap carry over,
+// enabling golden-trace comparisons across a snapshot boundary.
+func TestSnapshotGrantLogRestores(t *testing.T) {
+	cfg := snapCfg(1, false)
+	orig := snapNet(t, cfg, 0.6)
+	orig.EnableGrantLog(64)
+	orig.Run(150)
+	snap := snapshotBytes(t, orig)
+	orig.Run(150)
+
+	restored := snapNet(t, cfg, 0.6)
+	if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(150)
+	a, b := orig.GrantLog(), restored.GrantLog()
+	if len(a) != len(b) {
+		t.Fatalf("grant log lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant log entry %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestForkIndependence forks one warm network twice, drives the forks with
+// different loads, and proves (a) the parent is untouched, (b) each fork is
+// bit-identical to a solo run restored from the same snapshot — i.e. the
+// forks share no mutable state with the parent or each other. Runs under
+// -race in CI with Workers > 1, which would catch any shared-slice aliasing
+// as a data race too.
+func TestForkIndependence(t *testing.T) {
+	cfg := snapCfg(4, false)
+	parent := snapNet(t, cfg, 0.6)
+	parent.Run(300)
+	parentBefore := snapshotBytes(t, parent)
+
+	fork1, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fork1.Close)
+	fork2, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fork2.Close)
+
+	// Drive the forks with different loads.
+	fork1.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(fork1.Topo), 0.1, cfg.PacketSize))
+	fork2.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(fork2.Topo), 0.9, cfg.PacketSize))
+	fork1.Run(300)
+	fork2.Run(300)
+
+	if !bytes.Equal(parentBefore, snapshotBytes(t, parent)) {
+		t.Fatal("stepping forks mutated the parent network")
+	}
+
+	for i, tc := range []struct {
+		fork *Network
+		load float64
+	}{{fork1, 0.1}, {fork2, 0.9}} {
+		solo := snapNet(t, cfg, tc.load)
+		if err := solo.Restore(bytes.NewReader(parentBefore)); err != nil {
+			t.Fatal(err)
+		}
+		solo.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(solo.Topo), tc.load, cfg.PacketSize))
+		solo.Run(300)
+		expectSameState(t, fmt.Sprintf("fork%d", i+1), tc.fork, solo)
+	}
+}
+
+// TestRestoreRejects exercises the refusal paths: wrong magic, wrong
+// version, flipped payload bits, truncation, config mismatch and trailing
+// garbage must all error out without panicking.
+func TestRestoreRejects(t *testing.T) {
+	cfg := snapCfg(1, false)
+	orig := snapNet(t, cfg, 0.6)
+	orig.Run(120)
+	snap := snapshotBytes(t, orig)
+
+	fresh := func() *Network { return snapNet(t, cfg, 0.6) }
+	expectErr := func(label string, data []byte) {
+		t.Helper()
+		if err := fresh().Restore(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: restore accepted corrupt input", label)
+		}
+	}
+
+	bad := append([]byte(nil), snap...)
+	bad[0] ^= 0xff
+	expectErr("magic", bad)
+
+	bad = append([]byte(nil), snap...)
+	bad[8] ^= 0x01 // version word
+	expectErr("version", bad)
+
+	bad = append([]byte(nil), snap...)
+	bad[len(bad)-1] ^= 0x40 // payload tail
+	expectErr("payload bitflip", bad)
+
+	expectErr("truncated", snap[:len(snap)/2])
+	expectErr("empty", nil)
+	expectErr("trailing garbage", append(append([]byte(nil), snap...), 0xEE))
+
+	other := snapCfg(1, false)
+	other.Seed = 99
+	mis, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(mis.Topo), 0.6, other.PacketSize))
+	if err := mis.Restore(bytes.NewReader(snap)); err == nil {
+		t.Fatal("restore accepted a snapshot from a different configuration")
+	}
+}

@@ -124,3 +124,8 @@ func (pl *Pool) Put(p *Packet) {
 // Outstanding reports how many IDs have been handed out in total. Useful in
 // conservation tests.
 func (pl *Pool) Outstanding() uint64 { return uint64(pl.next) }
+
+// SetOutstanding restores the ID counter after a snapshot restore, so packets
+// generated from here on continue the original ID sequence (IDs are unique
+// for the lifetime of a run; traces and snapshot dedup rely on that).
+func (pl *Pool) SetOutstanding(n uint64) { pl.next = ID(n) }

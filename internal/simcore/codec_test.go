@@ -1,0 +1,169 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U64(0xdeadbeefcafef00d)
+	e.I64(-42)
+	e.Int(123456)
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Bytes([]byte("hello"))
+	e.Bytes(nil)
+	e.Raw([]byte{9, 9})
+
+	d := NewDec(e.Data())
+	if got := d.U64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := string(d.Bytes(16)); got != "hello" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := d.Bytes(16); len(got) != 0 {
+		t.Errorf("empty Bytes = %v", got)
+	}
+	if got := d.Raw(2); got[0] != 9 || got[1] != 9 {
+		t.Errorf("Raw = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+// TestCodecTruncation proves every accessor fails cleanly on short input and
+// that the error latches: after the first failure everything returns zero.
+func TestCodecTruncation(t *testing.T) {
+	d := NewDec([]byte{1, 2, 3})
+	if got := d.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("truncated U64 did not error")
+	}
+	// Latched: subsequent reads stay zero and do not panic.
+	if d.U8() != 0 || d.Bool() || d.Int() != 0 || d.Bytes(8) != nil || d.Raw(1) != nil {
+		t.Error("reads after a latched error returned data")
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining after error = %d", d.Remaining())
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	t.Run("bad bool", func(t *testing.T) {
+		d := NewDec([]byte{2})
+		d.Bool()
+		if d.Err() == nil {
+			t.Error("boolean byte 2 accepted")
+		}
+	})
+	t.Run("negative length", func(t *testing.T) {
+		var e Enc
+		e.I64(-1)
+		d := NewDec(e.Data())
+		d.Len(10)
+		if d.Err() == nil {
+			t.Error("negative count accepted")
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		var e Enc
+		e.I64(11)
+		d := NewDec(e.Data())
+		d.Len(10)
+		if d.Err() == nil {
+			t.Error("count above max accepted")
+		}
+	})
+	t.Run("huge bytes length", func(t *testing.T) {
+		var e Enc
+		e.I64(1 << 40) // length prefix far beyond the input; must not allocate
+		d := NewDec(e.Data())
+		d.Bytes(64)
+		if d.Err() == nil {
+			t.Error("huge byte length accepted")
+		}
+	})
+}
+
+func TestRNGSetState(t *testing.T) {
+	r := NewRNG(7)
+	r.Uint64()
+	s := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r2 := NewRNG(99)
+	if err := r2.SetState(s); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := r2.Uint64(); got != w {
+			t.Fatalf("draw %d: got %d want %d", i, got, w)
+		}
+	}
+	if err := r2.SetState([4]uint64{}); err == nil {
+		t.Error("all-zero state accepted")
+	}
+}
+
+// TestWheelForEachDelay proves the delay/order contract the snapshot writer
+// relies on: re-scheduling the visited (delay, event) pairs into a fresh
+// wheel reproduces the original delivery stream exactly.
+func TestWheelForEachDelay(t *testing.T) {
+	w := NewWheel[int](10)
+	w.Advance() // skew now so modular slot indexing is exercised
+	w.Advance()
+	w.Schedule(10, 100)
+	w.Schedule(0, 1)
+	w.Schedule(0, 2)
+	w.Schedule(3, 30)
+	w.Schedule(3, 31)
+
+	w2 := NewWheel[int](10)
+	n := 0
+	w.ForEachDelay(func(delay int, ev int) {
+		w2.Schedule(delay, ev)
+		n++
+	})
+	if n != w.Pending() || w2.Pending() != w.Pending() {
+		t.Fatalf("visited %d events, pending %d/%d", n, w.Pending(), w2.Pending())
+	}
+	for cycle := 0; cycle <= 10; cycle++ {
+		a, b := w.Advance(), w2.Advance()
+		if len(a) != len(b) {
+			t.Fatalf("cycle %d: %v vs %v", cycle, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cycle %d event %d: %d vs %d", cycle, i, a[i], b[i])
+			}
+		}
+	}
+}

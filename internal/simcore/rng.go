@@ -4,6 +4,8 @@
 // cycles without a priority queue.
 package simcore
 
+import "fmt"
+
 // RNG is a small, fast, deterministic pseudo-random generator
 // (xoshiro256** seeded through splitmix64). Every stochastic component of
 // the simulator (traffic sources, misroute port selection, allocator tie
@@ -44,6 +46,18 @@ func (r *RNG) Derive(stream uint64) *RNG {
 // equal state produce identical streams; tests use this to prove a code path
 // consumed no randomness (e.g. that an idle router cycle draws nothing).
 func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a snapshot taken
+// by State, resuming the stream exactly where it was captured. The all-zero
+// state is rejected: xoshiro256** is a fixed point there (the stream would
+// be all zeros forever), and no reachable generator ever has it.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("simcore: RNG state cannot be all zero")
+	}
+	r.s = s
+	return nil
+}
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 

@@ -81,6 +81,25 @@ func (w *Wheel[T]) Filter(keep func(T) bool) {
 	}
 }
 
+// ForEachDelay visits every scheduled-but-undelivered event in delivery
+// order: ascending delay (cycles until the event fires, 0 = next Advance),
+// and within one delay the slot's append order — which is the order Advance
+// will hand them out. Re-scheduling each visited event at its reported delay
+// into a fresh wheel therefore reproduces this wheel's observable behavior
+// exactly; the snapshot writer relies on that. Do not mutate the wheel
+// during the walk.
+func (w *Wheel[T]) ForEachDelay(f func(delay int, ev T)) {
+	h := len(w.slots)
+	for d := 0; d < h; d++ {
+		for _, ev := range w.slots[(int(w.now)+d)%h] {
+			f(d, ev)
+		}
+	}
+}
+
+// Horizon returns the maximum schedulable delay.
+func (w *Wheel[T]) Horizon() int { return len(w.slots) - 1 }
+
 // Pending reports how many events are scheduled but not yet delivered.
 func (w *Wheel[T]) Pending() int { return w.count }
 

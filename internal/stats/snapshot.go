@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"slices"
+
+	"ofar/internal/simcore"
+)
+
+// Snapshot support: Run (with its optional Series, Histogram and utilization
+// sinks) serializes every counter, including the live measurement window, so
+// a restored simulation reports bit-identical statistics to one that was
+// never interrupted. The affected-flow set is written in sorted key order,
+// which is what keeps snapshot bytes deterministic across runs.
+
+const (
+	maxAffectedFlows = 1 << 28
+	maxSeriesBuckets = 1 << 28
+	maxHistBuckets   = 1 << 16
+	maxUtilCounters  = 1 << 28
+)
+
+// EncodeState appends the full statistics state to e.
+func (r *Run) EncodeState(e *simcore.Enc) {
+	e.Int(r.Nodes)
+	e.Int(r.PacketSize)
+	e.I64(r.Generated)
+	e.I64(r.SourceBlocked)
+	e.I64(r.Injected)
+	e.I64(r.Delivered)
+	e.I64(r.GlobalMisroutes)
+	e.I64(r.LocalMisroutes)
+	e.I64(r.RingEnters)
+	e.I64(r.RingExits)
+	e.I64(r.RingHops)
+	e.I64(r.Dropped)
+	e.I64(r.FaultReroutes)
+
+	keys := make([]uint64, 0, len(r.affected))
+	for k := range r.affected {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	e.Int(len(keys))
+	for _, k := range keys {
+		e.U64(k)
+	}
+
+	e.Bool(r.measuring)
+	e.I64(r.measureStart)
+	e.I64(r.mDelivered)
+	e.F64(r.mLatSum)
+	e.I64(r.mLatCount)
+	e.F64(r.mNetLatSum)
+	e.I64(r.mHopsSum)
+	e.I64(r.mLatMax)
+	e.Int(r.mHopsMax)
+	e.Int(r.mCanHopsMax)
+
+	e.Bool(r.series != nil)
+	if r.series != nil {
+		r.series.encodeState(e)
+	}
+	e.Bool(r.hist != nil)
+	if r.hist != nil {
+		r.hist.encodeState(e)
+	}
+	e.Bool(r.util != nil)
+	if r.util != nil {
+		e.Int(r.ports)
+		e.Int(len(r.util))
+		for _, v := range r.util {
+			e.I64(v)
+		}
+	}
+}
+
+// DecodeState overwrites the statistics state from d, in place (callers hold
+// the *Run pointer across a restore). Nodes/PacketSize must match the sink
+// being restored into; a mismatch means the snapshot belongs to a different
+// network and is rejected.
+func (r *Run) DecodeState(d *simcore.Dec) error {
+	nodes, pktSize := d.Int(), d.Int()
+	if d.Err() == nil && (nodes != r.Nodes || pktSize != r.PacketSize) {
+		d.Fail("stats sized for %d nodes/%d-phit packets, have %d/%d", nodes, pktSize, r.Nodes, r.PacketSize)
+	}
+	r.Generated = d.I64()
+	r.SourceBlocked = d.I64()
+	r.Injected = d.I64()
+	r.Delivered = d.I64()
+	r.GlobalMisroutes = d.I64()
+	r.LocalMisroutes = d.I64()
+	r.RingEnters = d.I64()
+	r.RingExits = d.I64()
+	r.RingHops = d.I64()
+	r.Dropped = d.I64()
+	r.FaultReroutes = d.I64()
+
+	nAff := d.Len(maxAffectedFlows)
+	r.affected = nil
+	if nAff > 0 {
+		r.affected = make(map[uint64]struct{}, nAff)
+		for i := 0; i < nAff && d.Err() == nil; i++ {
+			r.affected[d.U64()] = struct{}{}
+		}
+	}
+
+	r.measuring = d.Bool()
+	r.measureStart = d.I64()
+	r.mDelivered = d.I64()
+	r.mLatSum = d.F64()
+	r.mLatCount = d.I64()
+	r.mNetLatSum = d.F64()
+	r.mHopsSum = d.I64()
+	r.mLatMax = d.I64()
+	r.mHopsMax = d.Int()
+	r.mCanHopsMax = d.Int()
+
+	r.series = nil
+	if d.Bool() {
+		r.series = &Series{}
+		r.series.decodeState(d)
+	}
+	r.hist = nil
+	if d.Bool() {
+		r.hist = &Histogram{}
+		r.hist.decodeState(d)
+	}
+	r.util = nil
+	r.ports = 0
+	if d.Bool() {
+		r.ports = d.Int()
+		n := d.Len(maxUtilCounters)
+		if d.Err() == nil {
+			r.util = make([]int64, n)
+			for i := range r.util {
+				r.util[i] = d.I64()
+			}
+		}
+	}
+	return d.Err()
+}
+
+func (s *Series) encodeState(e *simcore.Enc) {
+	e.Int(s.bucket)
+	e.Int(len(s.sum))
+	for i := range s.sum {
+		e.F64(s.sum[i])
+		e.I64(s.count[i])
+	}
+}
+
+func (s *Series) decodeState(d *simcore.Dec) {
+	s.bucket = d.Int()
+	if d.Err() == nil && s.bucket < 1 {
+		d.Fail("series bucket width %d < 1", s.bucket)
+	}
+	n := d.Len(maxSeriesBuckets)
+	if d.Err() != nil {
+		return
+	}
+	s.sum = make([]float64, n)
+	s.count = make([]int64, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s.sum[i] = d.F64()
+		s.count[i] = d.I64()
+	}
+}
+
+func (h *Histogram) encodeState(e *simcore.Enc) {
+	e.F64(h.base)
+	e.I64(h.count)
+	e.F64(h.sum)
+	e.F64(h.min)
+	e.F64(h.max)
+	e.Int(len(h.buckets))
+	for _, c := range h.buckets {
+		e.I64(c)
+	}
+}
+
+func (h *Histogram) decodeState(d *simcore.Dec) {
+	h.base = d.F64()
+	if d.Err() == nil && !(h.base > 0) {
+		d.Fail("histogram base %v not positive", h.base)
+	}
+	h.count = d.I64()
+	h.sum = d.F64()
+	h.min = d.F64()
+	h.max = d.F64()
+	n := d.Len(maxHistBuckets)
+	if d.Err() != nil {
+		return
+	}
+	h.buckets = make([]int64, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		h.buckets[i] = d.I64()
+	}
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"ofar/internal/simcore"
+)
+
+// Ring snapshot support. Rings are rebuilt deterministically by New, but a
+// fault can splice a dead router out mid-run (ReformWithout), and the splice
+// edge need not correspond to any canonical link — so a restored network
+// cannot re-derive its rings from the topology and must carry them verbatim.
+
+const maxRingRouters = 1 << 22
+
+// EncodeState appends the full ring state to e, including the derived
+// per-router maps (which after a splice are no longer a pure function of
+// Order: spliced-out routers hold -1 sentinels and splice edges can have no
+// embedded port).
+func (rg *Ring) EncodeState(e *simcore.Enc) {
+	e.Int(rg.Offset)
+	e.Int(len(rg.Order))
+	for _, r := range rg.Order {
+		e.Int(r)
+	}
+	e.Int(len(rg.next))
+	for i := range rg.next {
+		e.I64(int64(rg.next[i]))
+		e.I64(int64(rg.pos[i]))
+		e.I64(int64(rg.port[i]))
+		e.Bool(rg.glob[i])
+	}
+}
+
+// DecodeRing reads one ring for a network of `routers` routers. Structural
+// bounds are validated (every index inside the router range, Order no longer
+// than the maps); deeper invariants are the snapshot writer's responsibility
+// and are protected by the payload checksum.
+func DecodeRing(d *simcore.Dec, routers int) (*Ring, error) {
+	rg := &Ring{Offset: d.Int()}
+	nOrder := d.Len(maxRingRouters)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	rg.Order = make([]int, nOrder)
+	for i := range rg.Order {
+		rg.Order[i] = d.Int()
+		if d.Err() == nil && (rg.Order[i] < 0 || rg.Order[i] >= routers) {
+			d.Fail("ring order entry %d outside [0,%d)", rg.Order[i], routers)
+		}
+	}
+	n := d.Len(maxRingRouters)
+	if d.Err() == nil && (n != routers || nOrder > n) {
+		d.Fail("ring maps sized %d, network has %d routers (order %d)", n, routers, nOrder)
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	rg.next = make([]int32, n)
+	rg.pos = make([]int32, n)
+	rg.port = make([]int32, n)
+	rg.glob = make([]bool, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		rg.next[i] = int32(d.I64())
+		rg.pos[i] = int32(d.I64())
+		rg.port[i] = int32(d.I64())
+		rg.glob[i] = d.Bool()
+		if d.Err() == nil {
+			if int(rg.next[i]) >= routers || rg.next[i] < -1 ||
+				int(rg.pos[i]) >= n || rg.pos[i] < -1 {
+				d.Fail("ring map entry %d out of range", i)
+			}
+		}
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return rg, nil
+}

@@ -117,6 +117,26 @@ type Generator interface {
 	Done() bool
 }
 
+// StatefulGenerator is implemented by generators that carry mutable progress
+// state (currently only Burst). Network snapshots include the state so a
+// restored run resumes the source exactly where it stopped; generators not
+// implementing this are stateless by contract — calling Next mutates nothing
+// but the RNG, which the network snapshots separately.
+type StatefulGenerator interface {
+	Generator
+	EncodeState(e *simcore.Enc)
+	DecodeState(d *simcore.Dec) error
+}
+
+// CloneableGenerator is implemented by stateful generators that can produce
+// an independent deep copy for a forked simulation. Stateless generators
+// need no clone: Fork shares them, which is safe because their Next only
+// reads immutable pattern state.
+type CloneableGenerator interface {
+	Generator
+	CloneGenerator() Generator
+}
+
 // Bernoulli is the steady-state source: each node independently generates a
 // packet with probability load/packetSize per cycle, so the offered load is
 // `load` phits/(node·cycle).
@@ -224,3 +244,47 @@ func (b *Burst) Done() bool { return b.emitted >= b.total }
 
 // Total returns the overall packet budget of the burst.
 func (b *Burst) Total() int { return b.total }
+
+// EncodeState implements StatefulGenerator: the per-node sent counters and
+// the emitted total are the burst's entire mutable state.
+func (b *Burst) EncodeState(e *simcore.Enc) {
+	e.Int(b.perNode)
+	e.Int(b.emitted)
+	e.Int(len(b.sent))
+	for _, s := range b.sent {
+		e.Int(s)
+	}
+}
+
+// DecodeState implements StatefulGenerator. The burst geometry (nodes,
+// per-node budget) must match the generator being restored into.
+func (b *Burst) DecodeState(d *simcore.Dec) error {
+	perNode, emitted := d.Int(), d.Int()
+	n := d.Len(1 << 26)
+	if d.Err() == nil && (perNode != b.perNode || n != len(b.sent)) {
+		d.Fail("burst geometry %d×%d, have %d×%d", n, perNode, len(b.sent), b.perNode)
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := range b.sent {
+		s := d.Int()
+		if d.Err() == nil && (s < 0 || s > b.perNode) {
+			d.Fail("burst sent[%d]=%d outside [0,%d]", i, s, b.perNode)
+		}
+		b.sent[i] = s
+	}
+	if d.Err() == nil && (emitted < 0 || emitted > b.total) {
+		d.Fail("burst emitted %d outside [0,%d]", emitted, b.total)
+	}
+	b.emitted = emitted
+	return d.Err()
+}
+
+// CloneGenerator implements CloneableGenerator: the clone shares the
+// immutable pattern but owns its progress counters.
+func (b *Burst) CloneGenerator() Generator {
+	c := *b
+	c.sent = append([]int(nil), b.sent...)
+	return &c
+}

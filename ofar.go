@@ -19,6 +19,8 @@
 package ofar
 
 import (
+	"io"
+
 	"ofar/internal/core"
 	"ofar/internal/network"
 	"ofar/internal/routing"
@@ -138,6 +140,29 @@ func (s *Simulator) Run(cycles int) { s.net.Run(cycles) }
 // Network exposes the underlying assembly for advanced users (examples,
 // tests, custom experiment drivers).
 func (s *Simulator) Network() *network.Network { return s.net }
+
+// Snapshot writes the simulator's complete state — RNG streams, buffers,
+// credits, in-flight events, arbiter and escape-ring state, fault cursor,
+// statistics — as a versioned binary image. The image is deterministic and
+// restores bit-identically; see network.Snapshot for the format contract.
+func (s *Simulator) Snapshot(w io.Writer) error { return s.net.Snapshot(w) }
+
+// Restore overwrites the simulator's state from a snapshot. The simulator
+// must be built from the same configuration (modulo worker/scheduler/cache
+// settings, which change wall-clock only) by the same simulation physics;
+// corrupt input returns an error without panicking.
+func (s *Simulator) Restore(r io.Reader) error { return s.net.Restore(r) }
+
+// Fork clones the warm state into a fully independent simulator — own
+// routers, event wheel, RNG positions and (when configured) worker pool.
+// Close the fork when done.
+func (s *Simulator) Fork() (*Simulator, error) {
+	n, err := s.net.Fork()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{net: n}, nil
+}
 
 // Close releases the simulator's resources — with Config.Workers > 1, the
 // persistent router-stage worker pool. Idempotent; a no-op for serial
