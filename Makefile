@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json bench-compare vet cover cover-check figures figures-h6 fuzz clean
+.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz clean
 
 all: build test
 
@@ -53,8 +53,15 @@ bench-json:
 		| $(GO) run ./cmd/benchjson \
 		-note "Snapshot* rows are the checkpoint layer: encode/restore a warm h=3 image (~0.7 MB) in ~3 ms, full Fork ~9 ms — the fixed cost each warm-fork sweep point pays." \
 		-note "warm-cache sweep speedup: sweep -h 3 -points 5 -warmup 3000 -measure 1000 with -checkpoint/-restore dropped 1.43 s -> 0.53 s (~2.7x) on the second invocation, restoring all 5 points and skipping 15000 warmup cycles; CSV rows bit-identical (TestWarmCacheSweep)." \
+		-note "h6 rows are the full-scale regime (876 routers): serial vs ShardByGroup+4 workers through the production cutover (on a single-P host both take the serial path; on multicore the shard rows dispatch whole groups to the pool, bit-identically — TestH6ShardedSmoke). The group-sharding PR cut the saturated (load=0.90) h=6 serial step from 6.84 ms (min of 3, pre-PR engine on this machine) to 4.35-4.9 ms (~1.5x on the min-fold) via per-group SoA arenas, block-carved packet allocation, the Cycle head/arbiter prefetch pass and the serial event-loop lookahead." \
 		> BENCH_step.json
 	@cat BENCH_step.json
+
+# Full-scale h=6 Step rows only (876 routers; serial vs group-sharded):
+# the headline numbers of the sharded engine and the default figure regime
+# since ShardByGroup. Warm-up dominates (2000 full-size cycles per row).
+bench-h6:
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad/h6' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT)
 
 # Informational perf diff against the committed baseline: rerun the tracked
 # Step benchmarks to a temp file and print per-row ns/op deltas versus
@@ -69,9 +76,11 @@ bench-compare:
 figures:
 	$(GO) run ./cmd/experiments -fig all -h 3 -points 8 -svg figures | tee experiments_h3.txt
 
-# Paper-scale (h=6, 5256 nodes) headline figure — slow.
+# Paper-scale (h=6, 5256 nodes) headline figure — the routine regime since
+# the group-sharded Step; -workers/-shard engage the sharded engine on
+# multicore hosts (bit-identical results either way).
 figures-h6:
-	$(GO) run ./cmd/experiments -fig fig5 -h 6 -points 6
+	$(GO) run ./cmd/experiments -fig fig5 -h 6 -points 6 -workers 4 -shard
 
 fuzz:
 	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology

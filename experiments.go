@@ -174,7 +174,21 @@ func RunLoadSweepOpt(cfg Config, ps PatternSpec, loads []float64, warmup, measur
 	}
 	nets := workers
 	if cfg.Workers > 1 {
-		nets = min(workers, max(1, runtime.GOMAXPROCS(0)/cfg.Workers))
+		// Per-network worker width. Under ShardByGroup whole groups are the
+		// stealing unit, so a network can keep at most min(Workers, groups)
+		// workers busy — budgeting the raw Workers count against GOMAXPROCS
+		// would over-throttle the sweep on small-group configs (e.g. h=2 with
+		// 8-wide pools would halve the in-flight networks for workers that
+		// can never all engage).
+		width := cfg.Workers
+		if cfg.ShardByGroup {
+			groups := cfg.Groups
+			if groups == 0 {
+				groups = cfg.A*cfg.H + 1
+			}
+			width = min(width, groups)
+		}
+		nets = min(workers, max(1, runtime.GOMAXPROCS(0)/width))
 	}
 	out := make([]SteadyResult, len(loads))
 	errs := make([]error, len(loads))

@@ -180,4 +180,38 @@ func BenchmarkStepByLoad(b *testing.B) {
 			}
 		}
 	}
+
+	// Full-scale h=6 rows (876 routers, 5256 nodes): the routine figure
+	// regime since the group-sharded Step (see EXPERIMENTS.md). Serial vs
+	// ShardByGroup with 4 workers, across the low/mid/saturated loads the
+	// paper's sweeps hit; the shard rows go through the production cutover,
+	// so on a single-P host they measure the serial fall-back exactly as a
+	// production run would. Skipped under -short: each warm-up alone runs
+	// 2000 full-size cycles.
+	if testing.Short() {
+		return
+	}
+	for _, load := range []float64{0.05, 0.5, 0.9} {
+		for _, mode := range []string{"serial", "shard4"} {
+			b.Run(fmt.Sprintf("h6/load=%.2f/%s", load, mode), func(b *testing.B) {
+				cfg := DefaultConfig(6)
+				if mode == "shard4" {
+					cfg.Workers = 4
+					cfg.ShardByGroup = true
+				}
+				n, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer n.Close()
+				n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), load, cfg.PacketSize))
+				n.Run(2000) // reach steady state before measuring
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+			})
+		}
+	}
 }

@@ -178,6 +178,20 @@ type Config struct {
 	// moves wall-clock time only. Negative values are rejected.
 	ParallelCutover int
 
+	// ShardByGroup shards both per-cycle phases by dragonfly group when
+	// Workers > 1: the event phase and the router stage run as parallel
+	// per-group shards (whole groups are the stealing unit), with every
+	// cross-shard effect — timing-wheel insertions, in-flight deltas,
+	// delivery and drop effects — buffered per group during the compute
+	// phase and committed at a serial barrier in fixed (group, router, due
+	// index) order. Group ownership also matches the struct-of-arrays
+	// arena layout (one router.Arena per group), so a shard's working set
+	// is contiguous. Results are bit-identical to the serial engine for
+	// any worker count, and snapshots round-trip across sharding on/off
+	// (the field is normalized out of snapshot identity, like Workers).
+	// Ignored when Workers <= 1.
+	ShardByGroup bool
+
 	// DisableActivitySched turns off the active-set router scheduler and
 	// reverts Step to visiting every router every cycle. The scheduler skips
 	// only routers whose Cycle is provably a no-op (no routable buffer

@@ -48,13 +48,19 @@ type goldenSpec struct {
 // one network, the rest in a freshly built network restored from its
 // snapshot — the document must come out identical, which pins the
 // checkpoint layer to the same golden contract as the engines.
-func goldenRun(t *testing.T, spec goldenSpec, workers int, noSched, noCache bool, snapAt int) []byte {
+func goldenRun(t *testing.T, spec goldenSpec, workers int, noSched, noCache, shard bool, snapAt int) []byte {
 	t.Helper()
 	cfg := DefaultConfig(spec.h)
 	cfg.Seed = 12345
 	cfg.Workers = workers
 	cfg.DisableActivitySched = noSched
 	cfg.DisableRouteCache = noCache
+	cfg.ShardByGroup = shard
+	if shard {
+		// Force the shard dispatch on every non-empty cycle so the golden
+		// contract covers the sharded engine even on a single-P host.
+		cfg.ParallelCutover = 1
+	}
 	cfg.Faults = spec.faults
 	attach := func(n *Network) {
 		n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), spec.load, cfg.PacketSize))
@@ -100,13 +106,14 @@ func goldenRun(t *testing.T, spec goldenSpec, workers int, noSched, noCache bool
 }
 
 // checkGolden compares every engine variant's serialized run — serial,
-// parallel, scheduler off, route cache off, and a mid-run snapshot/restore
-// round trip — against the golden file, rewriting the file first when
+// parallel, group-sharded, scheduler off, route cache off, and mid-run
+// snapshot/restore round trips (including across sharding) — against the
+// golden file, rewriting the file first when
 // -update-golden is set (only the serial scheduler-on variant rewrites, so a
 // divergence between variants still fails).
 func checkGolden(t *testing.T, path string, spec goldenSpec) {
 	t.Helper()
-	base := goldenRun(t, spec, 0, false, false, 0)
+	base := goldenRun(t, spec, 0, false, false, false, 0)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -125,6 +132,7 @@ func checkGolden(t *testing.T, path string, spec goldenSpec) {
 		workers int
 		noSched bool
 		noCache bool
+		shard   bool
 		snapAt  int
 	}{
 		{name: "serial"},
@@ -133,13 +141,17 @@ func checkGolden(t *testing.T, path string, spec goldenSpec) {
 		{name: "workers4", workers: 4},
 		{name: "workers4-nosched", workers: 4, noSched: true},
 		{name: "workers4-nocache", workers: 4, noCache: true},
+		{name: "shard4", workers: 4, shard: true},
+		{name: "shard4-nosched", workers: 4, shard: true, noSched: true},
+		{name: "shard8-nocache", workers: 8, shard: true, noCache: true},
 		{name: "snapshot-restore", snapAt: spec.cycles / 2},
 		{name: "snapshot-restore-workers4", workers: 4, snapAt: spec.cycles / 2},
+		{name: "snapshot-restore-shard4", workers: 4, shard: true, snapAt: spec.cycles / 2},
 	}
 	for _, v := range variants {
 		got := base
-		if v.workers != 0 || v.noSched || v.noCache || v.snapAt != 0 {
-			got = goldenRun(t, spec, v.workers, v.noSched, v.noCache, v.snapAt)
+		if v.workers != 0 || v.noSched || v.noCache || v.shard || v.snapAt != 0 {
+			got = goldenRun(t, spec, v.workers, v.noSched, v.noCache, v.shard, v.snapAt)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+

@@ -34,6 +34,38 @@ type event struct {
 	kind  evKind
 }
 
+// schedEv is one deferred wheel insertion: a shard-phase worker appends
+// these to its group's outbox instead of touching the shared timing wheel,
+// and the serial barrier merges the outboxes in ascending group order —
+// which, for commit-phase insertions, reproduces the serial engine's
+// ascending-router insertion order exactly (routers are numbered
+// group-major), and for handle-phase insertions produces only credit events,
+// whose in-slot order is unobservable (credits commute and fold nothing).
+type schedEv struct {
+	ev    event
+	delay int32
+}
+
+// Deferred handle effects, recorded per due-event index and applied at the
+// end of the event phase in ascending index order — the exact order the
+// pre-sharding engine folded them in, regardless of which group (or which
+// shard worker) processed the event. fxNone slots are skipped.
+const (
+	fxNone uint8 = iota
+	fxDeliver
+	fxDrop
+)
+
+// groupScratch is one group's cross-shard channel: the wheel-insertion
+// outbox and the in-flight delta its handle share accumulates while the
+// shared counters are off limits. Padded to a cache line so adjacent groups
+// written by different workers never false-share.
+type groupScratch struct {
+	sched    []schedEv
+	inFlight int
+	_        [64 - 8*4]byte
+}
+
 // Network is one fully assembled simulated system.
 type Network struct {
 	Cfg     Config
@@ -80,10 +112,31 @@ type Network struct {
 	// run Cycle. A router is awake while it holds a routable buffer head;
 	// handle (arrivals, drain completions) and generate (injections) wake
 	// routers, and compactActive drops the ones whose work has drained.
-	schedOn bool
-	awake   []bool  // router is on the active list
-	active  []int32 // awake router ids (unsorted; sorted by compactActive)
-	allIdx  []int32 // 0..Routers-1, the legacy full iteration order
+	// The active set is kept per dragonfly group (routers are numbered
+	// group-major, so per-group sorted lists concatenate into the globally
+	// sorted order the serial loop needs); a shard worker compacts and
+	// iterates only its own groups' lists.
+	schedOn    bool
+	awake      []bool    // router is on its group's active list
+	activeG    [][]int32 // per-group awake router ids (sorted by compactGroup)
+	activeFlat []int32   // concatenation scratch returned by compactActive
+	allIdx     []int32   // 0..Routers-1, the legacy full iteration order
+
+	// Group partition of the event phase, used when the sharded dispatch
+	// runs (the serial path processes the due list directly in ascending
+	// order). dueG holds per-group indices into the cycle's due list;
+	// fxKind/fxPkt are the per-index deferred effects applied in due order
+	// at the barrier; gs carries each group's outbox.
+	nGroups   int
+	groupSize int     // routers per group (Topo.A)
+	groupIDs  []int32 // 0..nGroups-1: the shard dispatch iteration list
+	dueG      [][]int32
+	curDue    []event // the due list being processed (pool workers read it)
+	fxKind    []uint8
+	fxPkt     []*packet.Packet
+	shardOn   bool  // Config.ShardByGroup && workers > 1
+	evSink    int64 // write-only prefetch sink of the serial event loop
+	gs        []groupScratch
 
 	// Grant digest (tests): FNV-1a fold of every committed grant and every
 	// delivery, for cheap bit-equivalence checks between engines.
@@ -242,7 +295,17 @@ func New(cfg Config) (*Network, error) {
 	rootRNG := simcore.NewRNG(cfg.Seed)
 	n.trafficRNG = rootRNG.Derive(0x7aff1c)
 
+	// Routers are constructed group by group into contiguous []Router slabs,
+	// each group's slices carved from a private arena: one dragonfly group —
+	// the shard unit of ShardByGroup and the iteration unit of the
+	// group-partitioned event loop — then occupies a contiguous, cache-dense
+	// region instead of ~a·(2+ports·(4+vcs)) scattered heap objects.
 	n.Routers = make([]*router.Router, topo.Routers)
+	routerSlab := make([]router.Router, topo.Routers)
+	groupArena := make([]*router.Arena, topo.G)
+	for g := range groupArena {
+		groupArena[g] = router.NewArena()
+	}
 	for r := 0; r < topo.Routers; r++ {
 		ports := make([]router.PortSpec, nPorts)
 		for port := 0; port < topo.RouterPorts; port++ {
@@ -299,7 +362,8 @@ func New(cfg Config) (*Network, error) {
 		if n.usePB {
 			pb = boards[topo.GroupOf(r)]
 		}
-		n.Routers[r] = router.New(router.Params{
+		n.Routers[r] = &routerSlab[r]
+		router.NewInto(n.Routers[r], router.Params{
 			ID:          r,
 			Topo:        topo,
 			PktSize:     cfg.PacketSize,
@@ -309,6 +373,7 @@ func New(cfg Config) (*Network, error) {
 			RingOuts:    ringOuts,
 			PB:          pb,
 			PBThreshold: cfg.Adaptive.PBThreshold,
+			Arena:       groupArena[topo.GroupOf(r)],
 		})
 	}
 	if !cfg.DisableRouteCache {
@@ -345,6 +410,15 @@ func New(cfg Config) (*Network, error) {
 	for r := range n.allIdx {
 		n.allIdx[r] = int32(r)
 	}
+	n.nGroups = topo.G
+	n.groupSize = topo.A
+	n.groupIDs = make([]int32, topo.G)
+	n.activeG = make([][]int32, topo.G)
+	n.dueG = make([][]int32, topo.G)
+	n.gs = make([]groupScratch, topo.G)
+	for g := range n.groupIDs {
+		n.groupIDs[g] = int32(g)
+	}
 	if len(cfg.Faults) > 0 {
 		if err := n.prepareFaults(cfg.Faults); err != nil {
 			return nil, err
@@ -354,6 +428,7 @@ func New(cfg Config) (*Network, error) {
 	if n.workers > topo.Routers {
 		n.workers = topo.Routers
 	}
+	n.shardOn = cfg.ShardByGroup && n.workers > 1
 	if n.workers > 1 {
 		n.grantBuf = make([][]router.Grant, topo.Routers)
 		n.workerEng = make([]router.Engine, n.workers)
@@ -429,8 +504,8 @@ func (n *Network) Step() {
 	if n.faultIdx < len(n.faults) {
 		n.applyDueFaults(now)
 	}
-	for _, ev := range n.wheel.Advance() {
-		n.handle(ev, now)
+	if due := n.wheel.Advance(); len(due) > 0 {
+		n.processDue(due, now)
 	}
 	if n.gen != nil {
 		n.generate(now)
@@ -438,24 +513,147 @@ func (n *Network) Step() {
 	if n.usePB {
 		n.publishPB(now)
 	}
-	list := n.allIdx
+	// Router stage. The sharded path decides on the pre-compaction active
+	// count (a superset of the post-compaction list, so the decision is
+	// conservative) because compaction itself runs inside the shard phase;
+	// the legacy paths keep their exact pre-sharding control flow.
+	act := len(n.allIdx)
 	if n.schedOn {
-		list = n.compactActive()
+		act = 0
+		for g := range n.activeG {
+			act += len(n.activeG[g])
+		}
 	}
-	if len(list) > 0 {
-		if n.workers > 1 && len(list) >= n.cutover {
-			n.cycleRouters(list, now)
+	if act > 0 {
+		if n.shardOn && act >= n.cutover {
+			n.cycleShard(now)
 		} else {
-			for _, i := range list {
-				r := n.Routers[i]
-				grants := r.Cycle(n.Engine, now)
-				for j := range grants {
-					n.commit(r, &grants[j], now)
+			list := n.allIdx
+			if n.schedOn {
+				list = n.compactActive()
+			}
+			if !n.shardOn && n.workers > 1 && len(list) >= n.cutover {
+				n.cycleRouters(list, now)
+			} else {
+				for _, i := range list {
+					r := n.Routers[i]
+					grants := r.Cycle(n.Engine, now)
+					for j := range grants {
+						n.commit(r, &grants[j], now)
+					}
 				}
 			}
 		}
 	}
 	n.now++
+}
+
+// processDue runs the event phase over one cycle's due list, partitioned by
+// target group. Group order is the processing order in both the serial loop
+// and the sharded dispatch, so the two are trivially identical; equivalence
+// with the pre-partition engine (ascending due order) rests on three facts,
+// each pinned by the golden tests:
+//
+//   - Router mutations commute across groups: an event targets exactly one
+//     router (arrivals and drains touch input buffers, credits touch output
+//     ports), and same-router events touch disjoint (port, VC) state.
+//   - Observable effects (delivery folds and stats, fault drops) are not
+//     applied in processing order: they are recorded per due index and
+//     applied in ascending index order afterwards — the exact fold order of
+//     the pre-partition engine, because arrive/drain events enter a wheel
+//     slot only during the commit phase (ascending router order) and their
+//     relative in-slot order is therefore identical under both engines.
+//   - Handle-phase wheel insertions are credit events only; their in-slot
+//     order differs from the pre-partition engine's, but credits fold
+//     nothing and AddCredit is commutative (a sum plus idempotent dirty
+//     bits), so no digest, stat or future decision can observe the shuffle.
+func (n *Network) processDue(due []event, now int64) {
+	if !n.shardOn || len(due) < n.cutover {
+		// Serial fast path: the pre-partition engine verbatim — ascending
+		// due order, effects applied inline. No group partition, no effect
+		// deferral; the sharded path below reproduces exactly this order.
+		//
+		// The lookahead touch warms the port state of an event a few slots
+		// ahead: due-order jumps between routers, so each event's first
+		// dereference is otherwise a serial cache miss. Reads of exported
+		// quiescent fields only — nothing observable moves.
+		const look = 8
+		sink := int64(0)
+		for i := range due {
+			if i+look < len(due) {
+				nx := &due[i+look]
+				r := n.Routers[nx.r]
+				inp := &r.In[nx.port]
+				sink += int64(inp.UpPort) + int64(r.Out[nx.port].Latency)
+				if int(nx.vc) < len(inp.VCs) {
+					sink += int64(inp.VCs[nx.vc].Ring)
+				}
+			}
+			n.handleSerial(due[i], now)
+		}
+		n.evSink = sink
+		return
+	}
+	for g := range n.dueG {
+		n.dueG[g] = n.dueG[g][:0]
+	}
+	gsz := int32(n.groupSize)
+	for i := range due {
+		g := due[i].r / gsz
+		n.dueG[g] = append(n.dueG[g], int32(i))
+	}
+	if cap(n.fxKind) < len(due) {
+		n.fxKind = make([]uint8, len(due))
+		n.fxPkt = make([]*packet.Packet, len(due))
+	} else {
+		n.fxKind = n.fxKind[:len(due)]
+		clear(n.fxKind)
+		n.fxPkt = n.fxPkt[:len(due)]
+	}
+	n.curDue = due
+	n.runShards(phaseHandle, now)
+	n.curDue = nil
+	// Commit the cross-shard channels in ascending group order: wheel
+	// outboxes (credit refunds) and in-flight deltas.
+	for g := range n.gs {
+		sh := &n.gs[g]
+		for _, se := range sh.sched {
+			n.wheel.Schedule(int(se.delay), se.ev)
+		}
+		sh.sched = sh.sched[:0]
+		n.inFlight += sh.inFlight
+		sh.inFlight = 0
+	}
+	// Apply deferred effects in original due order (see above).
+	for i, k := range n.fxKind {
+		switch k {
+		case fxDeliver:
+			p := n.fxPkt[i]
+			n.fxPkt[i] = nil
+			if n.digestOn {
+				// Folding (identity, latency) pins per-packet delivery
+				// times, not just the grant sequence.
+				n.fold(1, now, int64(p.Src), int64(p.Dst), p.Born, p.Injected)
+			}
+			n.Stats.OnDeliver(p.Born, p.Injected, now, p.TotalHops, p.RingHops)
+			n.pool.Put(p)
+		case fxDrop:
+			p := n.fxPkt[i]
+			n.fxPkt[i] = nil
+			n.dropPacket(p, now)
+		}
+	}
+}
+
+// sched inserts a wheel event directly (sh == nil: serial event phase) or
+// into the group's outbox (sharded event phase, where the shared wheel is
+// off limits until the barrier).
+func (n *Network) sched(sh *groupScratch, delay int, ev event) {
+	if sh == nil {
+		n.wheel.Schedule(delay, ev)
+	} else {
+		sh.sched = append(sh.sched, schedEv{ev: ev, delay: int32(delay)})
+	}
 }
 
 // wake puts a router on the active list (idempotent). Callers are the three
@@ -467,7 +665,8 @@ func (n *Network) Step() {
 func (n *Network) wake(r int32) {
 	if !n.awake[r] {
 		n.awake[r] = true
-		n.active = append(n.active, r)
+		g := r / int32(n.groupSize)
+		n.activeG[g] = append(n.activeG[g], r)
 	}
 }
 
@@ -477,29 +676,48 @@ func (n *Network) wake(r int32) {
 // Config.ParallelCutover; exposed for diagnostics and calibration.
 func (n *Network) ActiveRouters() int {
 	if n.schedOn {
-		return len(n.active)
+		total := 0
+		for g := range n.activeG {
+			total += len(n.activeG[g])
+		}
+		return total
 	}
 	return len(n.Routers)
 }
 
-// compactActive drops routers with no routable buffer head from the active
-// list and returns the survivors sorted by router index — the same relative
-// order the legacy full loop visits them in, which keeps grant commit order,
-// timing-wheel insertion order and therefore every digest bit-identical.
-// Skipped routers contribute no grants, so removing them from the iteration
-// changes nothing else.
+// compactActive compacts every group's active list and returns their
+// concatenation: per-group sorted lists of a group-major router numbering
+// concatenate into the globally ascending order the legacy full loop visits
+// routers in, which keeps grant commit order, timing-wheel insertion order
+// and therefore every digest bit-identical. Skipped routers contribute no
+// grants, so removing them from the iteration changes nothing else.
 func (n *Network) compactActive() []int32 {
-	keep := n.active[:0]
-	for _, id := range n.active {
+	flat := n.activeFlat[:0]
+	for g := range n.activeG {
+		if len(n.activeG[g]) > 0 {
+			flat = append(flat, n.compactGroup(g)...)
+		}
+	}
+	n.activeFlat = flat
+	return flat
+}
+
+// compactGroup drops routers with no routable buffer head from one group's
+// active list and sorts the survivors by router index. Touches only
+// group-owned state (the group's list and its routers' awake flags), so
+// shard workers compact their claimed groups concurrently.
+func (n *Network) compactGroup(g int) []int32 {
+	keep := n.activeG[g][:0]
+	for _, id := range n.activeG[g] {
 		if n.Routers[id].HasRoutableWork() {
 			keep = append(keep, id)
 		} else {
 			n.awake[id] = false
 		}
 	}
-	n.active = keep
-	slices.Sort(n.active)
-	return n.active
+	slices.Sort(keep)
+	n.activeG[g] = keep
+	return keep
 }
 
 // publishPB refreshes the group flag boards. The boards store transitions,
@@ -640,7 +858,11 @@ func (n *Network) fold(vs ...int64) {
 	n.digestCount++
 }
 
-func (n *Network) handle(ev event, now int64) {
+// handleSerial processes one due event with inline effects — the serial
+// event phase, byte-for-byte the pre-partition engine. The sharded path
+// (handleGroup + deferred effects) reproduces exactly this processing order;
+// see processDue.
+func (n *Network) handleSerial(ev event, now int64) {
 	switch ev.kind {
 	case evArrive:
 		n.inFlight--
@@ -704,6 +926,81 @@ func (n *Network) handle(ev event, now int64) {
 		}
 	case evCredit:
 		n.Routers[ev.r].AddCredit(int(ev.port), int(ev.vc), int(ev.phits))
+	}
+}
+
+// handleGroup processes one group's share of the due list inside a shard
+// worker: wheel insertions and the in-flight counter go through the group's
+// scratch, and everything else the switch mutates is owned by the group —
+// routers of this group (every event targets its own router), the
+// awake/activeG entries of this group, and the fx slots of this group's due
+// indices. Observable effects (deliveries, drops) are only *recorded* here;
+// processDue applies them in original due order.
+func (n *Network) handleGroup(g int, due []event, now int64, sh *groupScratch) {
+	for _, idx := range n.dueG[g] {
+		ev := due[idx]
+		switch ev.kind {
+		case evArrive:
+			sh.inFlight--
+			if n.deadRouter != nil && n.deadRouter[ev.r] {
+				// The packet was launched before the router died; the link
+				// delivered it into a void. No credit refund: the upstream
+				// port is dead and its counters are frozen.
+				n.fxKind[idx] = fxDrop
+				n.fxPkt[idx] = ev.pkt
+				continue
+			}
+			if n.deadNode != nil && n.deadNode[ev.pkt.Dst] {
+				// The destination died while the packet was en route. Drop it
+				// here rather than let it chase an unreachable ejection port —
+				// with a synthesized refund, since the buffer space it
+				// reserved on this live router is never consumed.
+				up := &n.Routers[ev.r].In[ev.port]
+				if up.UpRouter >= 0 {
+					n.sched(sh, 0, event{kind: evCredit, r: int32(up.UpRouter), port: int16(up.UpPort), vc: ev.vc, phits: int32(ev.pkt.Size)})
+				}
+				n.fxKind[idx] = fxDrop
+				n.fxPkt[idx] = ev.pkt
+				continue
+			}
+			n.Routers[ev.r].Arrive(int(ev.port), int(ev.vc), ev.pkt)
+			if n.schedOn {
+				n.wake(ev.r)
+			}
+		case evDrain, evDrainDeliver:
+			r := n.Routers[ev.r]
+			p, upR, upP := r.FinishDrain(int(ev.port), int(ev.vc))
+			if n.schedOn {
+				// The drain's end frees the input port and promotes any packet
+				// queued behind the drained head; credits (evCredit) need no
+				// wake because they cannot create a routable head on a router
+				// that has none.
+				n.wake(ev.r)
+			}
+			if ev.kind == evDrain {
+				// The packet has fully left this buffer and is now only on the
+				// link (its arrival event is pending); with link latencies ≥
+				// packetSize-1 — true for all shipped configurations — this
+				// keeps the conservation accounting exact.
+				sh.inFlight++
+			}
+			if upR >= 0 && (n.deadRouter == nil || !n.deadRouter[ev.r]) {
+				// Dead routers return no credits: their upstream ports are
+				// dead with frozen counters — except a re-formed ring
+				// predecessor, whose counters were re-derived against the new
+				// downstream buffer and must not absorb refunds for the old
+				// one.
+				lat := n.Routers[upR].Out[upP].Latency
+				n.sched(sh, lat-1, event{kind: evCredit, r: int32(upR), port: int16(upP), vc: ev.vc, phits: int32(p.Size)})
+			}
+			if ev.kind == evDrainDeliver {
+				p.Done = now
+				n.fxKind[idx] = fxDeliver
+				n.fxPkt[idx] = p
+			}
+		case evCredit:
+			n.Routers[ev.r].AddCredit(int(ev.port), int(ev.vc), int(ev.phits))
+		}
 	}
 }
 
@@ -815,6 +1112,135 @@ func (n *Network) commit(r *router.Router, g *router.Grant, now int64) {
 		// dead: the fault, not ordinary congestion, forced the detour.
 		n.Stats.FaultReroutes++
 		n.Stats.NoteAffectedFlow(p.Src, p.Dst)
+	}
+}
+
+// commitSched is the wheel-insertion half of commit, runnable inside a shard
+// worker: the grant's future events go to the group outbox (sh != nil) or
+// the wheel directly. Splitting commit lets the sharded router stage emit
+// each group's insertions during the parallel phase and reduce the serial
+// barrier to outbox merging plus commitStats.
+func (n *Network) commitSched(r *router.Router, g *router.Grant, now int64, sh *groupScratch) {
+	p := g.Pkt
+	if g.Eject {
+		n.sched(sh, p.Size-1, event{kind: evDrainDeliver, r: int32(r.ID), port: int16(g.InPort), vc: int16(g.InVC)})
+	} else {
+		out := &r.Out[g.Req.Out]
+		n.sched(sh, out.Latency, event{kind: evArrive, pkt: p, r: int32(out.Peer), port: int16(out.PeerPort), vc: int16(g.Req.VC)})
+		n.sched(sh, p.Size-1, event{kind: evDrain, r: int32(r.ID), port: int16(g.InPort), vc: int16(g.InVC)})
+	}
+}
+
+// commitStats is the observable half of commit — digest, grant log, traces,
+// statistics, fault-reroute attribution — applied serially in ascending
+// router order at the shard barrier, exactly as the serial engine interleaves
+// them.
+func (n *Network) commitStats(r *router.Router, g *router.Grant, now int64) {
+	p := g.Pkt
+	if n.digestOn {
+		n.fold(0, now, int64(r.ID), int64(g.InPort), int64(g.InVC),
+			int64(g.Req.Out), int64(g.Req.VC), int64(p.Src), int64(p.Dst), p.Born)
+		if len(n.grantLog) < n.logCap {
+			n.grantLog = append(n.grantLog, GrantEvent{
+				Cycle: now, Router: r.ID, InPort: g.InPort, InVC: g.InVC,
+				Out: g.Req.Out, VC: g.Req.VC,
+				Src: p.Src, Dst: p.Dst, Born: p.Born, Eject: g.Eject,
+			})
+		}
+	}
+	if n.traceEvery > 0 {
+		if tr, ok := n.traces[p.ID]; ok {
+			tr.Hops = append(tr.Hops, TraceHop{
+				Router: r.ID, Port: g.Req.Out, VC: g.Req.VC,
+				Escape: g.Req.Escape, Cycle: now,
+			})
+			if g.Eject {
+				tr.Done = true
+			}
+		}
+	}
+	n.Stats.AddUtilization(r.ID, g.Req.Out, p.Size)
+	if g.Req.SetGlobalMis {
+		n.Stats.GlobalMisroutes++
+	}
+	if g.Req.SetLocalMis {
+		n.Stats.LocalMisroutes++
+	}
+	if g.Req.EnterRing {
+		n.Stats.RingEnters++
+	}
+	if g.Req.ExitRing {
+		n.Stats.RingExits++
+	}
+	if g.Req.Escape && !g.Req.EnterRing {
+		n.Stats.RingHops++
+	}
+	if n.faultIdx > 0 && (g.Req.SetGlobalMis || g.Req.SetLocalMis || g.Req.EnterRing) &&
+		r.OutputDead(n.Topo.MinimalPort(r.ID, p.Dst)) {
+		// The packet left its minimal path while the minimal output here is
+		// dead: the fault, not ordinary congestion, forced the detour.
+		n.Stats.FaultReroutes++
+		n.Stats.NoteAffectedFlow(p.Src, p.Dst)
+	}
+}
+
+// groupList returns the iteration list of one group: its compacted active
+// list under the scheduler, or the group's full router range without it.
+func (n *Network) groupList(g int) []int32 {
+	if n.schedOn {
+		return n.activeG[g]
+	}
+	lo := g * n.groupSize
+	hi := lo + n.groupSize
+	if hi > len(n.allIdx) {
+		hi = len(n.allIdx)
+	}
+	return n.allIdx[lo:hi]
+}
+
+// cycleGroup runs one group's router stage inside a shard worker: compact
+// the group's active list, Cycle each router with the worker's engine, and
+// emit the grants' wheel insertions into the group outbox. Everything
+// written — the group's active list, its routers, their grantBuf rows, the
+// outbox — is owned by this group's claim.
+func (n *Network) cycleGroup(g int, eng router.Engine, now int64) {
+	if n.schedOn {
+		if len(n.activeG[g]) == 0 {
+			return
+		}
+		n.compactGroup(g)
+	}
+	sh := &n.gs[g]
+	for _, i := range n.groupList(g) {
+		r := n.Routers[i]
+		grants := r.Cycle(eng, now)
+		n.grantBuf[i] = grants
+		for j := range grants {
+			n.commitSched(r, &grants[j], now, sh)
+		}
+	}
+}
+
+// cycleShard is the ShardByGroup router stage: the pool claims whole groups
+// (compute + per-group commitSched in parallel), then the barrier walks
+// groups in ascending order committing stats in router order and merging
+// each group's outbox — reproducing the serial engine's ascending-router
+// wheel-insertion and fold order exactly, for any worker count.
+func (n *Network) cycleShard(now int64) {
+	n.runShards(phaseCycle, now)
+	for g := 0; g < n.nGroups; g++ {
+		for _, i := range n.groupList(g) {
+			r := n.Routers[i]
+			grants := n.grantBuf[i]
+			for j := range grants {
+				n.commitStats(r, &grants[j], now)
+			}
+		}
+		sh := &n.gs[g]
+		for _, se := range sh.sched {
+			n.wheel.Schedule(int(se.delay), se.ev)
+		}
+		sh.sched = sh.sched[:0]
 	}
 }
 

@@ -129,17 +129,24 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 // TestWorkerCountInvariance: the digest must not depend on *how many*
 // workers split the routers, nor on whether the activity scheduler prunes
 // the iteration to the awake set, nor on whether routers memoize routing
-// decisions (the full workers × scheduler × route-cache matrix).
+// decisions, nor on whether the cycle is sharded by group (the full workers
+// × scheduler × route-cache × ShardByGroup matrix). Parallel rows force
+// ParallelCutover=1 so the pool — flat or sharded — genuinely dispatches on
+// every non-empty cycle even on a single-P host.
 func TestWorkerCountInvariance(t *testing.T) {
 	cycles := 800
 	if testing.Short() {
 		cycles = 300
 	}
-	run := func(workers int, noSched, noCache bool) (uint64, int64) {
+	run := func(workers int, noSched, noCache, shard bool) (uint64, int64) {
 		cfg := DefaultConfig(2)
 		cfg.Workers = workers
 		cfg.DisableActivitySched = noSched
 		cfg.DisableRouteCache = noCache
+		cfg.ShardByGroup = shard
+		if workers > 1 {
+			cfg.ParallelCutover = 1
+		}
 		n := mustNet(t, cfg)
 		n.SetGenerator(traffic.NewBernoulli(traffic.NewAdv(n.Topo, 2), 0.6, cfg.PacketSize))
 		n.EnableGrantDigest()
@@ -147,14 +154,16 @@ func TestWorkerCountInvariance(t *testing.T) {
 		d, c := n.GrantDigest()
 		return d, c
 	}
-	wantD, wantC := run(0, true, false)
-	for _, noCache := range []bool{false, true} {
-		for _, noSched := range []bool{false, true} {
-			for _, w := range []int{0, 1, 4, 8, 64} { // 64 > router count: clamped
-				d, c := run(w, noSched, noCache)
-				if d != wantD || c != wantC {
-					t.Fatalf("workers=%d noSched=%v noCache=%v: digest %016x (%d) != reference %016x (%d)",
-						w, noSched, noCache, d, c, wantD, wantC)
+	wantD, wantC := run(0, true, false, false)
+	for _, shard := range []bool{false, true} {
+		for _, noCache := range []bool{false, true} {
+			for _, noSched := range []bool{false, true} {
+				for _, w := range []int{0, 1, 4, 8, 64} { // 64 > router count: clamped
+					d, c := run(w, noSched, noCache, shard)
+					if d != wantD || c != wantC {
+						t.Fatalf("workers=%d noSched=%v noCache=%v shard=%v: digest %016x (%d) != reference %016x (%d)",
+							w, noSched, noCache, shard, d, c, wantD, wantC)
+					}
 				}
 			}
 		}

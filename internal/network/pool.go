@@ -49,15 +49,16 @@ type stepPool struct {
 	chunk   int64        // list indices claimed per cursor grab
 
 	// Dispatch barrier: workers park on cond until epoch advances.
-	// list/now/cursor/pending/chunk are written by the caller before the
-	// epoch bump, so the mutex hand-off publishes them to the workers.
+	// list/now/phase/cursor/pending/chunk are written by the caller before
+	// the epoch bump, so the mutex hand-off publishes them to the workers.
 	mu     sync.Mutex
 	cond   sync.Cond
 	epoch  uint64 // guarded by mu
 	closed bool   // guarded by mu
 
-	list []int32
-	now  int64
+	list  []int32
+	now   int64
+	phase int // phaseRouters / phaseHandle / phaseCycle
 
 	// Completion barrier: the last finisher of an epoch publishes it here.
 	// Epoch-tagged (not a boolean) so a straggler signalling an old epoch
@@ -130,10 +131,14 @@ func (n *Network) poolWorker(w int) {
 				return
 			}
 			seen = p.epoch
-			list, now := p.list, p.now
+			list, now, phase := p.list, p.now, p.phase
 			p.mu.Unlock()
 
-			n.computeShare(eng, list, now)
+			if phase == phaseRouters {
+				n.computeShare(eng, list, now)
+			} else {
+				n.groupShare(eng, phase, now)
+			}
 
 			if p.pending.Add(-1) == 0 {
 				p.doneMu.Lock()
@@ -169,22 +174,46 @@ func (n *Network) computeShare(eng router.Engine, list []int32, now int64) {
 	}
 }
 
-// cycleRouters runs one parallel router stage over the given iteration list
-// (the sorted active set, or all routers with the scheduler disabled):
-// dispatch an epoch to the pool, compute the caller's share, join, then
-// commit every grant serially in list order — ascending router index,
-// exactly the order the serial loop uses — so timing-wheel insertion order,
-// statistics and traces are bit-identical to a serial run.
-//
-// grantBuf entries alias the per-router grant slices that Cycle itself
-// reuses across cycles; they are never cleared here, because the commit loop
-// reads only the entries of routers on this cycle's list, each freshly
-// written by the compute phase.
-func (n *Network) cycleRouters(list []int32, now int64) {
+// Pool phases. phaseRouters is the legacy flat router stage (steal chunks of
+// a router list, compute only). The shard phases steal whole dragonfly groups:
+// phaseHandle runs handleGroup over the due list's group partition, phaseCycle
+// runs cycleGroup (compact + compute + commitSched into the group outbox).
+const (
+	phaseRouters = iota
+	phaseHandle
+	phaseCycle
+)
+
+// groupShare claims group IDs one at a time until the cursor runs dry and
+// runs the current shard phase on each. Chunk size is fixed at 1: there are
+// only G claims per cycle, so cursor contention is negligible, and groups are
+// the unit of ownership — nothing finer is safe, nothing coarser balances.
+func (n *Network) groupShare(eng router.Engine, phase int, now int64) {
 	p := n.workerPool
-	pprof.SetGoroutineLabels(p.dispatchCtx)
-	p.list, p.now = list, now
-	p.chunk = chunkFor(len(list), n.workers)
+	for {
+		k := p.cursor.Add(1) - 1
+		if k >= int64(n.nGroups) {
+			return
+		}
+		g := int(k)
+		switch phase {
+		case phaseHandle:
+			if len(n.dueG[g]) > 0 {
+				n.handleGroup(g, n.curDue, now, &n.gs[g])
+			}
+		case phaseCycle:
+			n.cycleGroup(g, eng, now)
+		}
+	}
+}
+
+// runShards dispatches one shard phase to the pool — every participant,
+// caller included, steals whole groups — and joins. The caller resumes only
+// after every group's share is done, with all cross-shard effects parked in
+// the per-group outboxes for the serial barrier to merge.
+func (n *Network) runShards(phase int, now int64) {
+	p := n.workerPool
+	p.list, p.now, p.phase = nil, now, phase
 	p.cursor.Store(0)
 	p.pending.Store(int32(n.workers - 1))
 	p.mu.Lock()
@@ -193,13 +222,15 @@ func (n *Network) cycleRouters(list []int32, now int64) {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 
-	pprof.SetGoroutineLabels(p.computeCtx)
-	n.computeShare(n.Engine, list, now)
+	n.groupShare(n.Engine, phase, now)
+	p.join(epoch)
+}
 
-	// Join: a compute phase is tens of microseconds, so spin first (cheap
-	// loads), then yield the P so parked-but-runnable workers get it (this
-	// is what keeps GOMAXPROCS=1 runs — e.g. under testing.AllocsPerRun —
-	// live), and only then park on the completion cond.
+// join waits for the epoch's parked workers to report in: spin first (a
+// compute phase is tens of microseconds), then yield the P so parked-but-
+// runnable workers get it (this is what keeps GOMAXPROCS=1 runs — e.g. under
+// testing.AllocsPerRun — live), and only then park on the completion cond.
+func (p *stepPool) join(epoch uint64) {
 	for spin := 0; p.pending.Load() != 0; spin++ {
 		if spin < 64 {
 			continue
@@ -215,6 +246,35 @@ func (n *Network) cycleRouters(list []int32, now int64) {
 		p.doneMu.Unlock()
 		break
 	}
+}
+
+// cycleRouters runs one parallel router stage over the given iteration list
+// (the sorted active set, or all routers with the scheduler disabled):
+// dispatch an epoch to the pool, compute the caller's share, join, then
+// commit every grant serially in list order — ascending router index,
+// exactly the order the serial loop uses — so timing-wheel insertion order,
+// statistics and traces are bit-identical to a serial run.
+//
+// grantBuf entries alias the per-router grant slices that Cycle itself
+// reuses across cycles; they are never cleared here, because the commit loop
+// reads only the entries of routers on this cycle's list, each freshly
+// written by the compute phase.
+func (n *Network) cycleRouters(list []int32, now int64) {
+	p := n.workerPool
+	pprof.SetGoroutineLabels(p.dispatchCtx)
+	p.list, p.now, p.phase = list, now, phaseRouters
+	p.chunk = chunkFor(len(list), n.workers)
+	p.cursor.Store(0)
+	p.pending.Store(int32(n.workers - 1))
+	p.mu.Lock()
+	p.epoch++
+	epoch := p.epoch
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	pprof.SetGoroutineLabels(p.computeCtx)
+	n.computeShare(n.Engine, list, now)
+	p.join(epoch)
 
 	pprof.SetGoroutineLabels(p.commitCtx)
 	for _, i := range list {

@@ -95,6 +95,7 @@ func EngineDigest() uint64 {
 func normalizeConfig(c Config) Config {
 	c.Workers = 0
 	c.ParallelCutover = 0
+	c.ShardByGroup = false
 	c.DisableActivitySched = false
 	c.DisableRouteCache = false
 	return c
@@ -605,7 +606,10 @@ func (n *Network) decodePayload(d *simcore.Dec) error {
 	for i := range n.awake {
 		n.awake[i] = false
 	}
-	n.active = n.active[:0]
+	for g := range n.activeG {
+		n.activeG[g] = n.activeG[g][:0]
+	}
+	n.activeFlat = n.activeFlat[:0]
 	if n.schedOn {
 		for _, r := range n.Routers {
 			if r.HasRoutableWork() {

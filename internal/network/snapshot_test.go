@@ -147,6 +147,41 @@ func TestSnapshotCrossSetting(t *testing.T) {
 	}
 }
 
+// TestSnapshotAcrossSharding: ShardByGroup is a wall-clock setting like
+// Workers — normalized out of the snapshot's config identity — so a snapshot
+// taken under the sharded engine restores into a serial network (and vice
+// versa) bit-identically, snapshot image included. ParallelCutover=1 (from
+// snapCfg) forces the shard dispatch on every non-empty cycle, so the shard
+// side genuinely runs sharded even on a single-P host.
+func TestSnapshotAcrossSharding(t *testing.T) {
+	const warm, measure = 300, 300
+	shardCfg := snapCfg(4, false)
+	shardCfg.ShardByGroup = true
+	serialCfg := snapCfg(1, false)
+
+	for _, dir := range []struct {
+		name     string
+		src, dst Config
+	}{
+		{"shard_to_serial", shardCfg, serialCfg},
+		{"serial_to_shard", serialCfg, shardCfg},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			orig := snapNet(t, dir.src, 0.6)
+			orig.Run(warm)
+			snap := snapshotBytes(t, orig)
+			orig.Run(measure)
+
+			restored := snapNet(t, dir.dst, 0.6)
+			if err := restored.Restore(bytes.NewReader(snap)); err != nil {
+				t.Fatal(err)
+			}
+			restored.Run(measure)
+			expectSameState(t, dir.name, orig, restored)
+		})
+	}
+}
+
 // TestSnapshotWithFaults covers the hardest restore surface: a router fault
 // before the snapshot point (ring splice surgery, dead masks, dropped
 // packets) and another fault after it (the restored fault cursor must fire

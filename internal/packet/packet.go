@@ -93,10 +93,25 @@ func (p *Packet) EnterGroup(g int) {
 // Pool is a free list of packets. It is not safe for concurrent use; the
 // simulator is single-threaded by design (single-cycle simulation), and
 // parallel experiments each own a private pool.
+//
+// Fresh packets are carved from block allocations rather than individual
+// `new(Packet)` calls: packets born together tend to travel together (a
+// saturation wave admits thousands of packets in a few cycles), so block
+// carving keeps the packets a router dereferences in one cycle on far fewer
+// cache lines and TLB pages than the allocator's default scattering, and it
+// cuts allocator metadata per packet to zero. Recycled packets keep their
+// original block homes — the free list preserves locality instead of
+// fighting it.
 type Pool struct {
-	free []*Packet
-	next ID
+	free  []*Packet
+	block []Packet // current carve block; grows in poolBlock-sized steps
+	next  ID
 }
+
+// poolBlock is the carve-block size in packets (~64 KiB of packet structs):
+// large enough that a saturation wave spans a handful of mappings, small
+// enough that a low-load run wastes at most one block's tail.
+const poolBlock = 512
 
 // Get returns a zeroed packet with a fresh ID.
 func (pl *Pool) Get() *Packet {
@@ -105,7 +120,11 @@ func (pl *Pool) Get() *Packet {
 		p = pl.free[n-1]
 		pl.free = pl.free[:n-1]
 	} else {
-		p = new(Packet)
+		if len(pl.block) == 0 {
+			pl.block = make([]Packet, poolBlock)
+		}
+		p = &pl.block[0]
+		pl.block = pl.block[1:]
 	}
 	p.Reset()
 	pl.next++

@@ -217,7 +217,7 @@ func TestFlagBoardZeroDelay(t *testing.T) {
 
 func TestOutPortCredits(t *testing.T) {
 	var op OutPort
-	op.initOut([]int{16, 16, 8}, []int8{-1, -1, 0})
+	op.initOut(nil, []int{16, 16, 8}, []int8{-1, -1, 0})
 	if op.NumVCs() != 3 {
 		t.Fatal("vc count")
 	}
@@ -248,7 +248,7 @@ func TestOutPortCredits(t *testing.T) {
 
 func TestBestVCSelection(t *testing.T) {
 	var op OutPort
-	op.initOut([]int{16, 16, 8}, []int8{-1, -1, 1})
+	op.initOut(nil, []int{16, 16, 8}, []int8{-1, -1, 1})
 	op.Take(0, 12)
 	vc, ok := op.bestCanonicalVC(8)
 	if !ok || vc != 1 {

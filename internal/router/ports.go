@@ -65,11 +65,15 @@ type OutPort struct {
 }
 
 // initOut sets up the credit state. caps lists per-VC capacities; escRing
-// tags escape VCs (-1 = canonical).
-func (op *OutPort) initOut(caps []int, escRing []int8) {
-	op.credits = append([]int(nil), caps...)
-	op.vcCap = append([]int(nil), caps...)
-	op.escRing = append([]int8(nil), escRing...)
+// tags escape VCs (-1 = canonical). The persistent per-VC arrays are carved
+// from ar (nil = heap).
+func (op *OutPort) initOut(ar *Arena, caps []int, escRing []int8) {
+	op.credits = ar.Ints(len(caps))
+	copy(op.credits, caps)
+	op.vcCap = ar.Ints(len(caps))
+	copy(op.vcCap, caps)
+	op.escRing = ar.Int8s(len(escRing))
+	copy(op.escRing, escRing)
 	op.canCap, op.canCredits = 0, 0
 	for vc, c := range caps {
 		if escRing[vc] < 0 {

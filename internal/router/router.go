@@ -49,6 +49,12 @@ type Params struct {
 	// routing mechanism does not use it).
 	PB          *FlagBoard
 	PBThreshold float64
+
+	// Arena, when non-nil, backs every slice the router allocates (ports,
+	// VC buffers, queue backings, arbiter rows, allocator scratch, cache
+	// masks). The network hands all routers of one dragonfly group the same
+	// arena so a group's hot state is contiguous; nil keeps plain make.
+	Arena *Arena
 }
 
 // Router is one input-buffered VCT router.
@@ -150,11 +156,32 @@ type Router struct {
 	// rebuild into a complement (allOut is the all-ports mask).
 	outBusy uint64
 	allOut  uint64
+
+	// arena backs late slice allocations (EnableRouteCache) with the same
+	// group slab the constructor used; nil for bare test routers.
+	arena *Arena
+
+	// prefetchSink absorbs the head-prefetch pass's reads (see Cycle) so the
+	// compiler cannot elide them. Write-only scratch: never read, never
+	// fingerprinted, never serialized.
+	prefetchSink int64
 }
 
 // New builds a router from its parameter block.
 func New(p Params) *Router {
-	r := &Router{
+	r := new(Router)
+	NewInto(r, p)
+	return r
+}
+
+// NewInto initializes a router in place. The network uses it to construct
+// all routers of a group into one contiguous []Router slab (with p.Arena
+// backing their slices), so the group's entire working set — the Router
+// structs and everything they point at — is carved from a few large
+// allocations in iteration order.
+func NewInto(r *Router, p Params) {
+	ar := p.Arena
+	*r = Router{
 		ID:          p.ID,
 		Group:       p.Topo.GroupOf(p.ID),
 		Topo:        p.Topo,
@@ -163,19 +190,20 @@ func New(p Params) *Router {
 		rng:         p.RNG,
 		pb:          p.PB,
 		pbThreshold: p.PBThreshold,
+		arena:       ar,
 	}
 	if r.AllocIters < 1 {
 		r.AllocIters = 1
 	}
 	n := len(p.Ports)
-	r.In = make([]InPort, n)
-	r.Out = make([]OutPort, n)
-	r.inArb = make([]LRS, n)
-	r.outArb = make([]LRS, n)
-	r.vcBase = make([]int32, n+1)
-	r.candVC = make([]int32, n)
-	r.reqMask = make([]uint64, n)
-	r.outCandMask = make([]uint64, n)
+	r.In = ar.InPorts(n)
+	r.Out = ar.OutPorts(n)
+	r.inArb = ar.LRSs(n)
+	r.outArb = ar.LRSs(n)
+	r.vcBase = ar.Int32s(n + 1)
+	r.candVC = ar.Int32s(n)
+	r.reqMask = ar.Uint64s(n)
+	r.outCandMask = ar.Uint64s(n)
 	total := 0
 	for i, ps := range p.Ports {
 		r.vcBase[i] = int32(total)
@@ -185,13 +213,23 @@ func New(p Params) *Router {
 		if ps.Kind == topology.PortNode {
 			in.UpRouter, in.UpPort = -1, -1
 		}
-		in.VCs = make([]VCBuffer, len(ps.InCaps))
+		in.VCs = ar.VCBuffers(len(ps.InCaps))
 		for vc := range in.VCs {
 			ring := -1
 			if ps.InRing != nil {
 				ring = ps.InRing[vc]
 			}
-			in.VCs[vc].Init(ps.InCaps[vc], ring)
+			buf := &in.VCs[vc]
+			// Pre-carve the queue backing at the worst-case live length
+			// (Capacity/PktSize packets plus the compaction-deferred popped
+			// prefix, which FinishDrain bounds at one more live length): the
+			// steady state then never appends past the arena cap.
+			maxPkts := 1
+			if p.PktSize > 0 {
+				maxPkts = ps.InCaps[vc]/p.PktSize + 1
+			}
+			buf.q = ar.PacketSlots(2*maxPkts + 2)
+			buf.Init(ps.InCaps[vc], ring)
 			if ring < 0 {
 				r.capPhits += ps.InCaps[vc]
 			}
@@ -210,18 +248,17 @@ func New(p Params) *Router {
 				ringTags[vc] = int8(ps.OutRing[vc])
 			}
 		}
-		out.initOut(ps.OutCaps, ringTags)
-		r.inArb[i].InitLRS(len(ps.InCaps))
-		r.outArb[i].InitLRS(n)
+		out.initOut(ar, ps.OutCaps, ringTags)
+		r.inArb[i].initLRS(ar, len(ps.InCaps))
+		r.outArb[i].initLRS(ar, n)
 		total += len(ps.InCaps)
 	}
 	r.vcBase[n] = int32(total)
-	r.reqs = make([]Request, total)
-	r.ringOuts = make([]int32, len(p.RingOuts))
+	r.reqs = ar.Requests(total)
+	r.ringOuts = ar.Int32s(len(p.RingOuts))
 	for i, po := range p.RingOuts {
 		r.ringOuts[i] = int32(po)
 	}
-	return r
 }
 
 // --- engine-facing helpers ---------------------------------------------------
@@ -245,10 +282,10 @@ func (r *Router) EnableRouteCache() {
 		panic("router: route cache requires <= 64 ports (enforced by config validation)")
 	}
 	r.cacheOn = true
-	r.pendingDirty = make([]uint64, len(r.In))
-	r.portDep = make([]uint64, len(r.In))
-	r.portExp = make([]int64, len(r.In))
-	r.portReqM = make([]uint64, len(r.In))
+	r.pendingDirty = r.arena.Uint64s(len(r.In))
+	r.portDep = r.arena.Uint64s(len(r.In))
+	r.portExp = r.arena.Int64s(len(r.In))
+	r.portReqM = r.arena.Uint64s(len(r.In))
 	r.allOut = ^uint64(0) >> uint(64-len(r.Out))
 	r.nextFree = math.MaxInt64
 }
@@ -675,6 +712,64 @@ func (r *Router) Cycle(engine Engine, now int64) []Grant {
 	var ce CacheableEngine
 	if r.cacheOn {
 		ce = engine.(CacheableEngine)
+	}
+	if r.readyVCs > 2 {
+		// Head-prefetch pass: touch the head packet of every ready VC that the
+		// main loop below will actually dereference (same skip predicates,
+		// evaluated read-only — pendingDirty is peeked, not consumed). The
+		// main loop's head loads are dependent chains (port → buffer → q →
+		// packet) into pool-recycled packets scattered across the heap, and at
+		// saturation they are the single largest stall in the simulator; the
+		// touches here are independent loads the CPU can overlap, so the main
+		// loop re-walks warm cache lines. Reads only — decisions, RNG streams
+		// and all digests are untouched; the sink write defeats dead-code
+		// elimination.
+		sink := int64(0)
+		for pm := r.readyPorts; pm != 0; pm &= pm - 1 {
+			ip := bits.TrailingZeros64(pm)
+			inp := &r.In[ip]
+			if inp.Busy(now) {
+				continue
+			}
+			// The allocator reads this port's input-arbiter timestamps
+			// whether its requests are routed fresh or replayed; touch the
+			// row now so the LRS scans walk a warm line.
+			if arb := r.inArb[ip].lastServed; len(arb) > 0 {
+				sink += arb[0]
+			}
+			if r.cacheOn {
+				d := window | r.pendingDirty[ip]
+				fbit := uint64(1) << uint(ip)
+				if r.formed&fbit != 0 && r.headChanged&fbit == 0 &&
+					r.portDep[ip]&d == 0 && now < r.portExp[ip] {
+					continue
+				}
+				for m := inp.ready; m != 0; m &= m - 1 {
+					vc := bits.TrailingZeros64(m)
+					buf := &inp.VCs[vc]
+					if buf.cValid && now < buf.cExpire && buf.cMask&d == 0 {
+						continue
+					}
+					sink += buf.q[buf.head].BlockedSince
+					if buf.cMin >= 0 {
+						// The engine's first read is the head's minimal output
+						// (occupancy, busy state, credits); its header line is
+						// another independent load worth overlapping.
+						sink += int64(r.Out[buf.cMin].canCredits)
+					}
+				}
+			} else {
+				for m := inp.ready; m != 0; m &= m - 1 {
+					vc := bits.TrailingZeros64(m)
+					buf := &inp.VCs[vc]
+					sink += buf.q[buf.head].BlockedSince
+					if buf.cMin >= 0 {
+						sink += int64(r.Out[buf.cMin].canCredits)
+					}
+				}
+			}
+		}
+		r.prefetchSink = sink
 	}
 	var inPend uint64 // input ports with pending (unmatched) requests
 	for pm := r.readyPorts; pm != 0; pm &= pm - 1 {
