@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz clean
+.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz serve smoke-serve clean
 
 all: build test
 
@@ -81,6 +81,20 @@ figures:
 # multicore hosts (bit-identical results either way).
 figures-h6:
 	$(GO) run ./cmd/experiments -fig fig5 -h 6 -points 6 -workers 4 -shard
+
+# Run the sweep service: HTTP/JSON experiment requests with a
+# determinism-backed result cache (see docs/ARCHITECTURE.md "The sweep
+# service"). SWEEPD_DIR persists results + warm snapshots across restarts.
+SWEEPD_DIR ?= ./sweepd-cache
+serve:
+	$(GO) run ./cmd/sweepd -addr :8080 -disk $(SWEEPD_DIR)
+
+# Service smoke: the end-to-end server tests — cold sweep matches
+# RunLoadSweepOpt byte-for-byte, repeated request is served from cache with
+# no simulation, concurrent identical requests coalesce onto one simulation,
+# overload sheds 429.
+smoke-serve:
+	$(GO) test -run 'TestServer|TestConcurrentIdentical|TestOverload|TestDiskPersistence' -v ./internal/service
 
 fuzz:
 	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology

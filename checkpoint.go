@@ -87,6 +87,23 @@ func (w *WarmState) Measure(measure int) (SteadyResult, error) {
 	return measureSteady(n, w.pattern, w.load, measure)
 }
 
+// EngineDigest returns the engine's physics fingerprint: the grant digest of
+// one small canonical run, computed once per process (see
+// network.EngineDigest). Snapshot restores refuse images written by a
+// behaviorally different build, and the sweep service folds this digest into
+// every result-cache key, so a code change that moves the physics can never
+// serve a stale cached result.
+func EngineDigest() uint64 { return network.EngineDigest() }
+
+// CanonicalConfigJSON returns the canonical identity of a configuration: its
+// JSON encoding with the wall-clock-only execution fields (Workers,
+// ParallelCutover, ShardByGroup, scheduler/cache toggles) normalized away.
+// Two configurations that provably simulate bit-identically — differing only
+// in those fields — canonicalize to the same bytes, which is what lets the
+// warm-snapshot cache and the sweep service's result cache share entries
+// across execution settings.
+func CanonicalConfigJSON(cfg Config) ([]byte, error) { return network.SnapshotConfigJSON(cfg) }
+
 // sweepPoint produces one sweep point through the warm-fork path, consulting
 // the options' warm cache. It reports whether the point's warmup was skipped
 // by a cache hit.

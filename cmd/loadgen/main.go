@@ -1,0 +1,178 @@
+// Command loadgen exercises a running sweepd: it fires n sweep requests with
+// bounded concurrency, parses the NDJSON point streams, and reports request
+// latencies, point provenance (cache / computed / coalesced) and shed (429)
+// counts — the client-side view of the service's cache and admission
+// behavior. With -identical every request is the same sweep, so after the
+// first completes the rest should be singleflight-coalesced or cache hits.
+//
+//	sweepd -addr :8080 &
+//	loadgen -addr http://localhost:8080 -n 32 -c 8 -h 2 -loads 0.1,0.3 -warmup 1000 -measure 1000
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type request struct {
+	H       int       `json:"h,omitempty"`
+	Routing string    `json:"routing,omitempty"`
+	Pattern string    `json:"pattern,omitempty"`
+	Seed    *uint64   `json:"seed,omitempty"`
+	Loads   []float64 `json:"loads"`
+	Warmup  int       `json:"warmup,omitempty"`
+	Measure int       `json:"measure,omitempty"`
+}
+
+type line struct {
+	Type      string  `json:"type"`
+	Source    string  `json:"source"`
+	Error     string  `json:"error"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	Load      float64 `json:"load"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "sweepd base URL")
+		n         = flag.Int("n", 16, "total requests")
+		c         = flag.Int("c", 4, "concurrent requests")
+		h         = flag.Int("h", 2, "dragonfly parameter h")
+		routing   = flag.String("routing", "OFAR", "routing mechanism")
+		pattern   = flag.String("pattern", "UN", "traffic pattern")
+		loadsStr  = flag.String("loads", "0.1,0.3", "comma-separated offered loads")
+		warmup    = flag.Int("warmup", 1000, "warm-up cycles")
+		measure   = flag.Int("measure", 1000, "measurement cycles")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		identical = flag.Bool("identical", true, "send identical requests (false: vary the seed per request)")
+	)
+	flag.Parse()
+
+	// Accept the same bare host:port (or :port) form sweepd's -addr takes.
+	if !strings.Contains(*addr, "://") {
+		if strings.HasPrefix(*addr, ":") {
+			*addr = "localhost" + *addr
+		}
+		*addr = "http://" + *addr
+	}
+
+	var loads []float64
+	for _, part := range strings.Split(*loadsStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: bad load %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		loads = append(loads, v)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sources   = map[string]int{}
+		shed      atomic.Int64
+		failed    atomic.Int64
+		pointErrs atomic.Int64
+	)
+	sem := make(chan struct{}, max(*c, 1))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			req := request{H: *h, Routing: *routing, Pattern: *pattern, Loads: loads, Warmup: *warmup, Measure: *measure}
+			s := *seed
+			if !*identical {
+				s = *seed + uint64(i)
+			}
+			req.Seed = &s
+			body, _ := json.Marshal(req)
+			t0 := time.Now()
+			resp, err := http.Post(*addr+"/sweep", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				shed.Add(1)
+				io.Copy(io.Discard, resp.Body)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+				msg, _ := io.ReadAll(resp.Body)
+				fmt.Fprintf(os.Stderr, "loadgen: request %d: HTTP %d: %s\n", i, resp.StatusCode, bytes.TrimSpace(msg))
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+			for sc.Scan() {
+				var l line
+				if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+					continue
+				}
+				if l.Type == "point" {
+					mu.Lock()
+					sources[l.Source]++
+					mu.Unlock()
+					if l.Error != "" {
+						pointErrs.Add(1)
+					}
+				}
+			}
+			d := time.Since(t0)
+			mu.Lock()
+			latencies = append(latencies, d)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	fmt.Printf("loadgen: %d requests (%d ok, %d shed/429, %d failed) in %v\n",
+		*n, len(latencies), shed.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if len(latencies) > 0 {
+		fmt.Printf("  request latency: min %v  p50 %v  p99 %v  max %v\n",
+			latencies[0].Round(time.Microsecond), quantile(0.5).Round(time.Microsecond),
+			quantile(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	fmt.Printf("  points: cache=%d computed=%d coalesced=%d errors=%d\n",
+		sources["cache"], sources["computed"], sources["coalesced"], pointErrs.Load())
+
+	if resp, err := http.Get(*addr + "/metrics"); err == nil {
+		defer resp.Body.Close()
+		fmt.Println("server /metrics:")
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			fmt.Println("  " + sc.Text())
+		}
+	}
+}

@@ -223,6 +223,16 @@ func RunLoadSweepOpt(cfg Config, ps PatternSpec, loads []float64, warmup, measur
 	return out, st, nil
 }
 
+// RunSweepPoint produces one steady-state sweep point through the warm-fork
+// path — exactly the per-point work of RunLoadSweepOpt, exposed for callers
+// that schedule points themselves (the sweep service's worker pool). The
+// returned flag reports whether the point's warm-up was skipped by a warm
+// snapshot from opt.RestoreDir. Results are bit-identical to RunLoadSweep,
+// RunLoadSweepOpt and the classic per-point RunSteady.
+func RunSweepPoint(cfg Config, ps PatternSpec, load float64, warmup, measure int, opt SweepOptions) (SteadyResult, bool, error) {
+	return sweepPoint(cfg, ps, load, warmup, measure, opt)
+}
+
 // SaturationLoad estimates the saturation throughput of a configuration
 // under a pattern: it offers full load (1.0) and reports the accepted
 // throughput, which is the standard way the paper's throughput plateaus

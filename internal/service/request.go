@@ -1,0 +1,165 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"ofar"
+)
+
+// Request is one experiment submission: a configuration (explicit, or the
+// paper's DefaultConfig(h) with optional routing/seed overrides — the same
+// shorthand the sweep CLI offers), a traffic pattern, a list of offered
+// loads, and the warm-up/measurement window. Each (config, pattern, load)
+// triple is one independently cacheable point.
+type Request struct {
+	// H builds the paper's DefaultConfig(h) when Config is absent (default 3).
+	H int `json:"h,omitempty"`
+	// Config, when present, is used verbatim (then Routing/Seed still apply).
+	Config *ofar.Config `json:"config,omitempty"`
+	// Routing overrides the mechanism (MIN, VAL, PB, UGAL-L, PAR, OFAR,
+	// OFAR-L), with the CLI's conventions: baselines drop the escape ring,
+	// PAR gets its 4 local/injection VCs.
+	Routing string `json:"routing,omitempty"`
+	// Seed overrides the RNG seed (part of the cache key: different seeds
+	// are different experiments).
+	Seed *uint64 `json:"seed,omitempty"`
+
+	Pattern string    `json:"pattern,omitempty"` // UN, ADV+<n>, MIX1..3, ... (default UN)
+	Loads   []float64 `json:"loads"`
+	Warmup  int       `json:"warmup,omitempty"`  // cycles (default 3000)
+	Measure int       `json:"measure,omitempty"` // cycles (default 5000)
+}
+
+// resolved is a fully canonicalized request: a validated configuration and
+// pattern plus defaulted windows. Everything that determines the simulation
+// is in here; everything that doesn't (field order, absent-vs-zero JSON,
+// wall-clock execution settings) has been normalized away.
+type resolved struct {
+	cfg     ofar.Config
+	ps      ofar.PatternSpec
+	loads   []float64
+	warmup  int
+	measure int
+	canon   []byte // CanonicalConfigJSON(cfg)
+}
+
+const (
+	defaultWarmup  = 3000
+	defaultMeasure = 5000
+	// maxCycles bounds warmup+measure per request: sized far above any
+	// experiment in the repo (the paper's runs are ≤ 10^4 cycles) while
+	// keeping a single request from monopolizing the service for hours.
+	maxCycles = 10_000_000
+	// maxWorkers bounds the per-network pool width a request may demand.
+	maxWorkers = 64
+)
+
+func resolveRequest(req Request, maxLoads int) (resolved, error) {
+	var r resolved
+	if req.Config != nil {
+		r.cfg = *req.Config
+	} else {
+		h := req.H
+		if h == 0 {
+			h = 3
+		}
+		if h < 1 || h > 8 {
+			return r, fmt.Errorf("h %d outside [1,8]", h)
+		}
+		r.cfg = ofar.DefaultConfig(h)
+	}
+	if req.Seed != nil {
+		r.cfg.Seed = *req.Seed
+	}
+	if req.Routing != "" {
+		r.cfg.Routing = ofar.Routing(strings.ToUpper(strings.TrimSpace(req.Routing)))
+		if r.cfg.Routing == ofar.PAR && (r.cfg.LocalVCs < 4 || r.cfg.InjVCs < 4) {
+			r.cfg.LocalVCs, r.cfg.InjVCs = 4, 4
+		}
+		switch r.cfg.Routing {
+		case ofar.MIN, ofar.VAL, ofar.PB, ofar.UGAL, ofar.PAR:
+			r.cfg.Ring = ofar.RingNone
+		}
+	}
+	if r.cfg.Workers > maxWorkers {
+		return r, fmt.Errorf("workers %d exceeds the service cap %d", r.cfg.Workers, maxWorkers)
+	}
+	if err := r.cfg.Validate(); err != nil {
+		return r, err
+	}
+	pat := req.Pattern
+	if pat == "" {
+		pat = "UN"
+	}
+	ps, err := ofar.ParsePattern(pat, r.cfg.H)
+	if err != nil {
+		return r, err
+	}
+	r.ps = ps
+	if len(req.Loads) == 0 {
+		return r, fmt.Errorf("loads must name at least one offered load")
+	}
+	if len(req.Loads) > maxLoads {
+		return r, fmt.Errorf("%d loads exceed the per-request cap %d", len(req.Loads), maxLoads)
+	}
+	for _, l := range req.Loads {
+		if math.IsNaN(l) || math.IsInf(l, 0) || l <= 0 || l > 2 {
+			return r, fmt.Errorf("load %v outside (0, 2]", l)
+		}
+	}
+	r.loads = req.Loads
+	r.warmup = req.Warmup
+	if r.warmup == 0 {
+		r.warmup = defaultWarmup
+	}
+	r.measure = req.Measure
+	if r.measure == 0 {
+		r.measure = defaultMeasure
+	}
+	if r.warmup < 0 || r.measure < 1 {
+		return r, fmt.Errorf("warmup/measure must be ≥ 0 / ≥ 1")
+	}
+	if r.warmup+r.measure > maxCycles {
+		return r, fmt.Errorf("warmup+measure %d exceeds the service cap %d cycles", r.warmup+r.measure, maxCycles)
+	}
+	if r.canon, err = ofar.CanonicalConfigJSON(r.cfg); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// pointKey is the cache identity of one sweep point: FNV-1a over the
+// canonical (execution-normalized) config JSON, the pattern, the exact load
+// bits, the warm-up and measurement windows, and the engine digest. Folding
+// the digest in means a build whose physics changed computes disjoint keys —
+// a stale result is unreachable, not merely detectable.
+func pointKey(canonCfg []byte, pattern string, load float64, warmup, measure int, digest uint64) uint64 {
+	h := fnv.New64a()
+	h.Write(canonCfg)
+	fmt.Fprintf(h, "|%s|%016x|%d|%d|%016x", pattern, math.Float64bits(load), warmup, measure, digest)
+	return h.Sum64()
+}
+
+// simWidth is the CPU claim of one simulated point: the same
+// min(Workers, groups) budget RunLoadSweepOpt charges per network, so the
+// service pool and the per-network router pools together never oversubscribe
+// GOMAXPROCS.
+func simWidth(cfg ofar.Config) int {
+	if cfg.Workers <= 1 {
+		return 1
+	}
+	w := cfg.Workers
+	if cfg.ShardByGroup {
+		groups := cfg.Groups
+		if groups == 0 {
+			groups = cfg.A*cfg.H + 1
+		}
+		if groups < w {
+			w = groups
+		}
+	}
+	return w
+}

@@ -1,0 +1,439 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ofar"
+)
+
+// testConfig is the tiny h=2 system (36 routers, 72 nodes) every service
+// test simulates: big enough to exercise the real engine, small enough that
+// a cold point takes milliseconds.
+func testConfig() ofar.Config {
+	cfg := ofar.DefaultConfig(2)
+	cfg.Seed = 7
+	return cfg
+}
+
+func startServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close() // waits for in-flight requests
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// sweepResponse is one parsed NDJSON sweep reply.
+type sweepResponse struct {
+	status  int
+	points  []PointResponse
+	summary SummaryResponse
+	raw     string
+}
+
+func postSweep(t *testing.T, url string, req Request) sweepResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := sweepResponse{status: resp.StatusCode}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.raw = string(raw)
+	if resp.StatusCode != http.StatusOK {
+		return out
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch probe.Type {
+		case "point":
+			var p PointResponse
+			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				t.Fatal(err)
+			}
+			out.points = append(out.points, p)
+		case "summary":
+			if err := json.Unmarshal(sc.Bytes(), &out.summary); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unknown line type %q", probe.Type)
+		}
+	}
+	return out
+}
+
+func countingRunner(calls *atomic.Int64) PointRunner {
+	return func(cfg ofar.Config, ps ofar.PatternSpec, load float64, warmup, measure int, opt ofar.SweepOptions) (ofar.SteadyResult, bool, error) {
+		calls.Add(1)
+		return ofar.RunSweepPoint(cfg, ps, load, warmup, measure, opt)
+	}
+}
+
+// TestServerSmoke is the end-to-end acceptance run: a cold sweep simulates
+// every point and matches RunLoadSweepOpt byte for byte; the identical
+// second request is served entirely from cache — zero additional
+// simulations, ≥100× faster per point than the cold run.
+func TestServerSmoke(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, Options{Sims: 2, MaxQueue: 16, Runner: countingRunner(&calls)})
+
+	cfg := testConfig()
+	loads := []float64{0.05, 0.2}
+	const warmup, measure = 2000, 1000
+	req := Request{Config: &cfg, Loads: loads, Warmup: warmup, Measure: measure}
+
+	cold := postSweep(t, ts.URL, req)
+	if cold.status != http.StatusOK {
+		t.Fatalf("cold request: HTTP %d: %s", cold.status, cold.raw)
+	}
+	if len(cold.points) != len(loads) {
+		t.Fatalf("cold: %d points, want %d", len(cold.points), len(loads))
+	}
+	if got := calls.Load(); got != int64(len(loads)) {
+		t.Fatalf("cold run simulated %d points, want %d", got, len(loads))
+	}
+	for _, p := range cold.points {
+		if p.Error != "" {
+			t.Fatalf("point %d failed: %s", p.Index, p.Error)
+		}
+		if p.Source != "computed" {
+			t.Errorf("cold point %d source = %q, want computed", p.Index, p.Source)
+		}
+	}
+
+	// (c) Responses must be byte-identical to RunLoadSweepOpt run directly.
+	direct, _, err := ofar.RunLoadSweepOpt(cfg, ofar.Uniform(), loads, warmup, measure, ofar.SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cold.points {
+		want, err := json.Marshal(direct[p.Index])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p.Result, want) {
+			t.Errorf("point %d differs from direct RunLoadSweepOpt:\n service: %s\n direct:  %s", p.Index, p.Result, want)
+		}
+	}
+
+	// (a) The repeated identical request hits the cache on every point, runs
+	// no simulation, and each point is served ≥100× faster.
+	warm := postSweep(t, ts.URL, req)
+	if warm.status != http.StatusOK {
+		t.Fatalf("warm request: HTTP %d", warm.status)
+	}
+	if got := calls.Load(); got != int64(len(loads)) {
+		t.Fatalf("warm run re-simulated: %d total calls, want still %d", got, len(loads))
+	}
+	if warm.summary.CacheHits != len(loads) {
+		t.Fatalf("warm summary: %d cache hits, want %d (summary %+v)", warm.summary.CacheHits, len(loads), warm.summary)
+	}
+	for _, p := range warm.points {
+		if p.Source != "cache" {
+			t.Errorf("warm point %d source = %q, want cache", p.Index, p.Source)
+		}
+		cold := cold.points[indexOf(t, cold.points, p.Index)]
+		if !bytes.Equal(p.Result, cold.Result) {
+			t.Errorf("warm point %d bytes differ from cold", p.Index)
+		}
+		coldUS := cold.ElapsedUS
+		warmUS := p.ElapsedUS
+		if warmUS < 1 {
+			warmUS = 1 // sub-microsecond hit
+		}
+		if coldUS/warmUS < 100 {
+			t.Errorf("point %d: cache hit only %dx faster (cold %dµs, hit %dµs), want ≥100x",
+				p.Index, coldUS/warmUS, coldUS, p.ElapsedUS)
+		}
+	}
+}
+
+func indexOf(t *testing.T, points []PointResponse, index int) int {
+	t.Helper()
+	for i, p := range points {
+		if p.Index == index {
+			return i
+		}
+	}
+	t.Fatalf("point index %d missing", index)
+	return -1
+}
+
+// TestConcurrentIdenticalRequestsCoalesce: (b) N=8 concurrent identical cold
+// requests trigger exactly one simulation; everyone gets the same bytes.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, Options{Sims: 4, MaxQueue: 32, Runner: countingRunner(&calls)})
+
+	cfg := testConfig()
+	req := Request{Config: &cfg, Loads: []float64{0.3}, Warmup: 1500, Measure: 800}
+
+	const n = 8
+	var wg sync.WaitGroup
+	responses := make([]sweepResponse, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			responses[i] = postSweep(t, ts.URL, req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want exactly 1", n, got)
+	}
+	var first []byte
+	for i, r := range responses {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d: %s", i, r.status, r.raw)
+		}
+		if len(r.points) != 1 || r.points[0].Error != "" {
+			t.Fatalf("request %d: bad points %+v", i, r.points)
+		}
+		if first == nil {
+			first = r.points[0].Result
+		} else if !bytes.Equal(first, r.points[0].Result) {
+			t.Errorf("request %d got different bytes than request 0", i)
+		}
+		switch r.points[0].Source {
+		case "computed", "coalesced", "cache": // one leader; late arrivals may hit the cache
+		default:
+			t.Errorf("request %d: unexpected source %q", i, r.points[0].Source)
+		}
+	}
+}
+
+// TestOverloadSheds429: (d) once the admission queue is full, requests are
+// refused with 429 + Retry-After instead of queueing without bound.
+func TestOverloadSheds429(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	blockingRunner := func(cfg ofar.Config, ps ofar.PatternSpec, load float64, warmup, measure int, opt ofar.SweepOptions) (ofar.SteadyResult, bool, error) {
+		started <- struct{}{}
+		<-block
+		return ofar.SteadyResult{Routing: cfg.Routing, Pattern: ps.Name(), Load: load}, false, nil
+	}
+	srv, ts := startServer(t, Options{Sims: 1, MaxQueue: 1, CacheEntries: 8, Runner: blockingRunner})
+
+	cfg := testConfig()
+	mkReq := func(load float64) Request {
+		return Request{Config: &cfg, Loads: []float64{load}, Warmup: 100, Measure: 100}
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); codes[0] = postSweep(t, ts.URL, mkReq(0.1)).status }()
+	<-started // the only worker is now occupied
+
+	wg.Add(1)
+	go func() { defer wg.Done(); codes[1] = postSweep(t, ts.URL, mkReq(0.2)).status }()
+	// Wait until the second request's point is admitted (queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.pool.Depth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full (MaxQueue=1) + worker busy: the third distinct request must
+	// be shed, not queued.
+	body, _ := json.Marshal(mkReq(0.3))
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: HTTP %d (%s), want 429", resp.StatusCode, msg)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("429 without a usable Retry-After header (%q)", ra)
+	}
+
+	close(block) // let the admitted requests finish
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("admitted request %d: HTTP %d, want 200", i, c)
+		}
+	}
+}
+
+// TestDiskPersistenceAcrossRestart: results persisted by one server instance
+// are served from the result cache by a fresh instance (same physics) with
+// no simulation — and the warm-snapshot cache is shared the same way.
+func TestDiskPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	req := Request{Config: &cfg, Loads: []float64{0.15}, Warmup: 600, Measure: 400}
+
+	var calls1 atomic.Int64
+	srv1, err := New(Options{DiskDir: dir, Runner: countingRunner(&calls1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	first := postSweep(t, ts1.URL, req)
+	ts1.Close()
+	srv1.Close()
+	if first.status != http.StatusOK || calls1.Load() != 1 {
+		t.Fatalf("first instance: HTTP %d, %d sims", first.status, calls1.Load())
+	}
+
+	var calls2 atomic.Int64
+	_, ts2 := startServer(t, Options{DiskDir: dir, Runner: countingRunner(&calls2)})
+	second := postSweep(t, ts2.URL, req)
+	if second.status != http.StatusOK {
+		t.Fatalf("second instance: HTTP %d", second.status)
+	}
+	if got := calls2.Load(); got != 0 {
+		t.Fatalf("restarted server re-simulated %d points; the persisted result should have served", got)
+	}
+	if second.points[0].Source != "cache" {
+		t.Errorf("source = %q, want cache", second.points[0].Source)
+	}
+	if !bytes.Equal(first.points[0].Result, second.points[0].Result) {
+		t.Error("persisted result differs across instances")
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, Options{Runner: countingRunner(&calls)})
+	cfg := testConfig()
+	req := Request{Config: &cfg, Loads: []float64{0.1}, Warmup: 300, Measure: 200}
+	postSweep(t, ts.URL, req)
+	postSweep(t, ts.URL, req)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(health), "ok engine=") {
+		t.Fatalf("healthz: HTTP %d %q", resp.StatusCode, health)
+	}
+	if !strings.Contains(string(health), fmt.Sprintf("%016x", ofar.EngineDigest())) {
+		t.Error("healthz does not report the engine digest")
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(metricsBody)
+	for _, want := range []string{
+		"sweepd_cache_hits_total 1",
+		"sweepd_cache_misses_total 1",
+		"sweepd_requests_total 2",
+		"sweepd_queue_depth 0",
+		"sweepd_inflight_sims 0",
+		"sweepd_point_latency_seconds{quantile=\"0.99\"}",
+		"sweepd_cache_hit_rate 0.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := map[string]string{
+		"no loads":        `{"h":2}`,
+		"bad pattern":     `{"h":2,"loads":[0.1],"pattern":"NOPE"}`,
+		"bad load":        `{"h":2,"loads":[-0.5]}`,
+		"bad json":        `{"h":`,
+		"bad routing":     `{"h":2,"loads":[0.1],"routing":"WAT"}`,
+		"huge window":     `{"h":2,"loads":[0.1],"warmup":9000000,"measure":9000000}`,
+		"workers too big": `{"config":{"P":2,"A":4,"H":2,"Workers":999},"loads":[0.1]}`,
+	}
+	for name, body := range cases {
+		if code := post(body); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerShorthandRequest exercises the h/routing/pattern shorthand the
+// CLI and curl examples use, including the baseline ring-drop convention.
+func TestServerShorthandRequest(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := startServer(t, Options{Runner: countingRunner(&calls)})
+	r := postSweep(t, ts.URL, Request{H: 2, Routing: "min", Pattern: "ADV+1", Loads: []float64{0.1}, Warmup: 300, Measure: 300})
+	if r.status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", r.status, r.raw)
+	}
+	if len(r.points) != 1 || r.points[0].Error != "" {
+		t.Fatalf("points: %+v", r.points)
+	}
+	var got ofar.SteadyResult
+	if err := json.Unmarshal(r.points[0].Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Routing != ofar.MIN || got.Pattern != "ADV+1" {
+		t.Errorf("result routing/pattern = %v/%q, want MIN/ADV+1", got.Routing, got.Pattern)
+	}
+}

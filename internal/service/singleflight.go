@@ -1,0 +1,59 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent computations of the same point key onto
+// one execution: the first caller becomes the leader and runs fn, every
+// caller that arrives while the flight is open blocks and shares the
+// leader's result. This is what turns N identical concurrent cache misses
+// into exactly one simulation.
+//
+// Errors are shared but not cached: once the flight completes, the key is
+// forgotten, so a later request retries rather than replaying a transient
+// failure forever.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*flight
+}
+
+type flight struct {
+	wg   sync.WaitGroup
+	data []byte
+	err  error
+}
+
+// Do runs fn for key, unless a flight for key is already open, in which case
+// it waits for that flight and returns its result with shared=true.
+func (g *flightGroup) Do(key uint64, fn func() ([]byte, error)) (data []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[uint64]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.data, true, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.data, f.err = fn()
+	f.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return f.data, false, f.err
+}
+
+// Pending reports whether a flight for key is currently open. The admission
+// path uses it to avoid reserving pool slots for work that is already being
+// computed on someone else's behalf.
+func (g *flightGroup) Pending(key uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
+}
