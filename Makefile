@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz serve smoke-serve clean
+.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz serve smoke-serve smoke-trace clean
 
 all: build test
 
@@ -96,11 +96,28 @@ serve:
 smoke-serve:
 	$(GO) test -run 'TestServer|TestConcurrentIdentical|TestOverload|TestDiskPersistence' -v ./internal/service
 
+# Trace record/replay smoke: record a run's generated packets with ofarsim
+# -trace-out, replay the file with -trace-in, and require the two grant
+# digests to match bit for bit (the tentpole determinism claim, end to end
+# through the CLI).
+smoke-trace:
+	$(GO) build -o $(or $(TMPDIR),/tmp)/ofarsim-smoke ./cmd/ofarsim
+	$(or $(TMPDIR),/tmp)/ofarsim-smoke -h 2 -routing OFAR -pattern ADV+1 -load 0.4 \
+		-warmup 500 -measure 1000 -trace-out $(or $(TMPDIR),/tmp)/smoke.trace -q \
+		| tee $(or $(TMPDIR),/tmp)/smoke_record.txt
+	$(or $(TMPDIR),/tmp)/ofarsim-smoke -h 2 -trace-in $(or $(TMPDIR),/tmp)/smoke.trace \
+		-warmup 500 -measure 1000 -q | tee $(or $(TMPDIR),/tmp)/smoke_replay.txt
+	@rec=$$(grep 'grant digest' $(or $(TMPDIR),/tmp)/smoke_record.txt); \
+	rep=$$(grep 'grant digest' $(or $(TMPDIR),/tmp)/smoke_replay.txt); \
+	echo "record: $$rec"; echo "replay: $$rep"; \
+	[ -n "$$rec" ] && [ "$$rec" = "$$rep" ] || { echo "trace replay digest mismatch"; exit 1; }
+
 fuzz:
 	$(GO) test -fuzz FuzzTopologyInvariants -fuzztime 30s ./internal/topology
 	$(GO) test -fuzz FuzzParsePattern -fuzztime 20s .
 	$(GO) test -fuzz FuzzParallelConservation -fuzztime 30s .
 	$(GO) test -fuzz FuzzRouteCache -fuzztime 30s .
+	$(GO) test -fuzz FuzzTraceRoundTrip -fuzztime 20s ./internal/trace
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt

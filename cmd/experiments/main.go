@@ -56,7 +56,7 @@ func (sc scale) sweep(cfg ofar.Config, ps ofar.PatternSpec, loads []float64) ([]
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: fig2b,fig3,fig4,fig5,fig6,fig7,fig8,fig9,bounds,all")
+		fig    = flag.String("fig", "all", "figure to regenerate: fig2b,fig3,fig4,fig5,fig6,fig7,fig8,fig9,bounds,all; extensions: stencil,fig9m,degradation,interference")
 		h      = flag.Int("h", 3, "dragonfly parameter h (6 = paper scale)")
 		warm   = flag.Int("warmup", 3000, "warm-up cycles per point")
 		meas   = flag.Int("measure", 5000, "measurement cycles per point")
@@ -86,18 +86,19 @@ func main() {
 	}
 
 	figs := map[string]func(scale, int){
-		"fig2b":       fig2b,
-		"fig3":        fig3,
-		"fig4":        fig4,
-		"fig5":        fig5,
-		"fig6":        fig6,
-		"fig7":        fig7,
-		"fig8":        fig8,
-		"fig9":        fig9,
-		"bounds":      bounds,
-		"stencil":     stencil,     // extension: §III application-workload table
-		"fig9m":       fig9m,       // extension: fig9 with the congestion manager
-		"degradation": degradation, // extension: throughput/p99 vs failed global links
+		"fig2b":        fig2b,
+		"fig3":         fig3,
+		"fig4":         fig4,
+		"fig5":         fig5,
+		"fig6":         fig6,
+		"fig7":         fig7,
+		"fig8":         fig8,
+		"fig9":         fig9,
+		"bounds":       bounds,
+		"stencil":      stencil,      // extension: §III application-workload table
+		"fig9m":        fig9m,        // extension: fig9 with the congestion manager
+		"degradation":  degradation,  // extension: throughput/p99 vs failed global links
+		"interference": interference, // extension: per-job p99 slowdown, mapping × routing
 	}
 	order := []string{"bounds", "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
 	name := strings.ToLower(*fig)
@@ -136,6 +137,80 @@ func stencil(sc scale, _ int) {
 			fmt.Printf("%-10s %-10s %12.1f %12.4f\n", rt, mapping, lat.AvgLatency, sat.Throughput)
 		}
 	}
+}
+
+// interference measures how much concurrent jobs hurt each other: a mixed
+// job set shares the network, then each job re-runs with every other job
+// silenced but placement unchanged, and the table reports per-job shared p99
+// and p99(shared)/p99(alone) for {MIN, OFAR} × {linear, random} task mapping.
+// Linear mapping isolates each job in its own groups, so MIN shows almost no
+// interference but a wide per-job p99 skew; OFAR's misrouting exports each
+// job's load onto its neighbors' groups and rings. Random mapping makes every
+// job share every link and flattens the skew for both routings.
+func interference(sc scale, _ int) {
+	header("Extension — job interference, p99 slowdown = shared / alone")
+	w := defaultJobMix(sc)
+	fmt.Printf("job set: %s\n", w.Name())
+	fmt.Printf("%-10s %-10s %-44s %s\n", "routing", "mapping", "per-job shared p99 (cycles)", "p99 slowdown")
+	for _, rt := range []ofar.Routing{ofar.MIN, ofar.OFAR} {
+		for _, random := range []bool{false, true} {
+			wm := w
+			wm.RandomMap = random
+			res, err := ofar.RunInterference(cfgFor(sc, rt), wm, 1.0, sc.warmup, sc.measure)
+			check(err)
+			mapping := "linear"
+			if random {
+				mapping = "random"
+			}
+			shared, slow := "", ""
+			for _, p := range res.Points {
+				shared += fmt.Sprintf(" %s=%.0f", p.Job, p.SharedP99)
+				slow += fmt.Sprintf(" %s=%.2f", p.Job, p.SlowdownP99)
+			}
+			fmt.Printf("%-10s %-10s %-44s%s\n", rt, mapping, shared, slow)
+		}
+	}
+}
+
+// defaultJobMix sizes a four-job mix from the network: a near-cubic stencil
+// and an all-to-all on a quarter of the nodes each, a ring on another
+// quarter, a parameter-server fan-in on an eighth, light uniform background
+// on the rest.
+func defaultJobMix(sc scale) ofar.Workload {
+	nodes := sc.h * 2 * sc.h * (2*sc.h*sc.h + 1)
+	q := nodes / 4
+	dims := cubicDims(q)
+	return ofar.Workload{
+		Jobs: []ofar.JobSpec{
+			{Kind: "stencil", Tasks: dims[0] * dims[1] * dims[2], Dims: dims, Load: 0.3},
+			{Kind: "a2a", Tasks: q, Load: 0.5},
+			{Kind: "ring", Tasks: q, Load: 0.2},
+			{Kind: "ps", Tasks: max(nodes/8, 3), Load: 0.4},
+		},
+		Background: 0.1,
+	}
+}
+
+// cubicDims picks the near-cubic x≤y≤z grid with the most cells ≤ n.
+func cubicDims(n int) [3]int {
+	best, bestV := [3]int{1, 1, 2}, 2
+	for x := 1; x*x*x <= n; x++ {
+		for y := x; x*y*y <= n; y++ {
+			z := n / (x * y)
+			if z < y {
+				continue
+			}
+			v := x * y * z
+			if v > n {
+				continue
+			}
+			// Same cell count: prefer the more cubic grid.
+			if v > bestV || (v == bestV && z-x < best[2]-best[0]) {
+				best, bestV = [3]int{x, y, z}, v
+			}
+		}
+	}
+	return best
 }
 
 // bestStencilDims picks a near-cubic grid filling most of the network.

@@ -27,13 +27,16 @@ import (
 )
 
 type request struct {
-	H       int       `json:"h,omitempty"`
-	Routing string    `json:"routing,omitempty"`
-	Pattern string    `json:"pattern,omitempty"`
-	Seed    *uint64   `json:"seed,omitempty"`
-	Loads   []float64 `json:"loads"`
-	Warmup  int       `json:"warmup,omitempty"`
-	Measure int       `json:"measure,omitempty"`
+	H          int       `json:"h,omitempty"`
+	Routing    string    `json:"routing,omitempty"`
+	Pattern    string    `json:"pattern,omitempty"`
+	Seed       *uint64   `json:"seed,omitempty"`
+	Loads      []float64 `json:"loads"`
+	Warmup     int       `json:"warmup,omitempty"`
+	Measure    int       `json:"measure,omitempty"`
+	Jobs       string    `json:"jobs,omitempty"`
+	JobMap     string    `json:"job_map,omitempty"`
+	Background float64   `json:"background,omitempty"`
 }
 
 type line struct {
@@ -57,6 +60,10 @@ func main() {
 		measure   = flag.Int("measure", 1000, "measurement cycles")
 		seed      = flag.Uint64("seed", 1, "base seed")
 		identical = flag.Bool("identical", true, "send identical requests (false: vary the seed per request)")
+		jobs      = flag.String("jobs", "", "job-level workload spec instead of -pattern (loads become scale factors)")
+		jobMap    = flag.String("jobmap", "", "job placement: linear or random")
+		bg        = flag.Float64("bg", 0, "uniform background load on unplaced nodes")
+		retries   = flag.Int("retries", 3, "attempts per request when shed with 429 (Retry-After honored between attempts)")
 	)
 	flag.Parse()
 
@@ -82,8 +89,9 @@ func main() {
 		mu        sync.Mutex
 		latencies []time.Duration
 		sources   = map[string]int{}
-		shed      atomic.Int64
-		failed    atomic.Int64
+		shed      atomic.Int64 // 429 responses seen (each attempt counts)
+		gaveUp    atomic.Int64 // requests that exhausted their retry budget on 429s
+		failed    atomic.Int64 // transport errors and non-429 HTTP failures
 		pointErrs atomic.Int64
 	)
 	sem := make(chan struct{}, max(*c, 1))
@@ -95,7 +103,11 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			req := request{H: *h, Routing: *routing, Pattern: *pattern, Loads: loads, Warmup: *warmup, Measure: *measure}
+			req := request{H: *h, Routing: *routing, Pattern: *pattern, Loads: loads, Warmup: *warmup, Measure: *measure,
+				Jobs: *jobs, JobMap: *jobMap, Background: *bg}
+			if *jobs != "" {
+				req.Pattern = ""
+			}
 			s := *seed
 			if !*identical {
 				s = *seed + uint64(i)
@@ -103,18 +115,30 @@ func main() {
 			req.Seed = &s
 			body, _ := json.Marshal(req)
 			t0 := time.Now()
-			resp, err := http.Post(*addr+"/sweep", "application/json", bytes.NewReader(body))
-			if err != nil {
-				failed.Add(1)
-				fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
-				return
+			// A 429 is the server asking us to come back, not a failure:
+			// honor its Retry-After and retry within a bounded budget.
+			var resp *http.Response
+			var err error
+			for attempt := 1; ; attempt++ {
+				resp, err = http.Post(*addr+"/sweep", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+					return
+				}
+				if resp.StatusCode != http.StatusTooManyRequests {
+					break
+				}
+				shed.Add(1)
+				delay := retryDelay(resp)
+				resp.Body.Close()
+				if attempt >= max(*retries, 1) {
+					gaveUp.Add(1)
+					return
+				}
+				time.Sleep(delay)
 			}
 			defer resp.Body.Close()
-			if resp.StatusCode == http.StatusTooManyRequests {
-				shed.Add(1)
-				io.Copy(io.Discard, resp.Body)
-				return
-			}
 			if resp.StatusCode != http.StatusOK {
 				failed.Add(1)
 				msg, _ := io.ReadAll(resp.Body)
@@ -157,8 +181,8 @@ func main() {
 		}
 		return latencies[i]
 	}
-	fmt.Printf("loadgen: %d requests (%d ok, %d shed/429, %d failed) in %v\n",
-		*n, len(latencies), shed.Load(), failed.Load(), wall.Round(time.Millisecond))
+	fmt.Printf("loadgen: %d requests (%d ok, %d shed/429 of which %d gave up after %d attempts, %d failed) in %v\n",
+		*n, len(latencies), shed.Load(), gaveUp.Load(), max(*retries, 1), failed.Load(), wall.Round(time.Millisecond))
 	if len(latencies) > 0 {
 		fmt.Printf("  request latency: min %v  p50 %v  p99 %v  max %v\n",
 			latencies[0].Round(time.Microsecond), quantile(0.5).Round(time.Microsecond),
@@ -175,4 +199,36 @@ func main() {
 			fmt.Println("  " + sc.Text())
 		}
 	}
+}
+
+// retryDelay extracts the server's requested backoff from a 429 response:
+// the Retry-After header (integer seconds) first, the JSON body's
+// retry_after_s as fallback, a small default when neither parses — clamped
+// to [0, 5s] so a confused server cannot park the client.
+func retryDelay(resp *http.Response) time.Duration {
+	const (
+		fallback = 100 * time.Millisecond
+		maxDelay = 5 * time.Second
+	)
+	d := time.Duration(-1)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d < 0 {
+		var body struct {
+			RetryAfterS float64 `json:"retry_after_s"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.RetryAfterS >= 0 {
+			d = time.Duration(body.RetryAfterS * float64(time.Second))
+		}
+	}
+	if d < 0 {
+		d = fallback
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
 }

@@ -40,6 +40,11 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "write the post-warmup network snapshot to this file (resume later with -restore)")
 		restore  = flag.String("restore", "", "resume from a warm snapshot file instead of simulating warmup (same config and physics required; results are bit-identical)")
 		cutover  = flag.Int("cutover", 0, "active-router count below which a parallel step runs serially (0 = auto-calibrate from -workers)")
+		jobs     = flag.String("jobs", "", "job-level workload instead of -pattern: kind:size@load[,...] with kinds stencil (size XxYxZ), a2a, ring, ps; -load scales every job")
+		jobMap   = flag.String("jobmap", "linear", "job placement: linear (consecutive nodes) or random (seeded permutation)")
+		bg       = flag.Float64("bg", 0, "uniform background load on nodes no job occupies")
+		traceOut = flag.String("trace-out", "", "record every generated packet to this trace file")
+		traceIn  = flag.String("trace-in", "", "replay a trace file instead of generating traffic (overrides -pattern/-jobs/-load)")
 		quiet    = flag.Bool("q", false, "print a single CSV row instead of the report")
 		confPath = flag.String("config", "", "load the full network config from a JSON file (overrides topology/router flags)")
 		dumpConf = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
@@ -144,8 +149,119 @@ func main() {
 		fatal("%v", err)
 	}
 
+	// Trace replay: re-inject a recorded stream through a fresh network. A
+	// trace recorded by this build reproduces its run's grant digest
+	// bit-identically, which is what the printed digest line is for.
+	if *traceIn != "" {
+		if *jobs != "" || *ckpt != "" || *restore != "" {
+			fatal("-trace-in composes with none of -jobs, -checkpoint, -restore")
+		}
+		recs, engine, err := ofar.LoadTrace(*traceIn)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if engine != 0 && engine != ofar.EngineDigest() {
+			fmt.Fprintf(os.Stderr, "ofarsim: warning: trace written by engine %016x, this build is %016x — replay will not be bit-identical\n",
+				engine, ofar.EngineDigest())
+		}
+		res, digest, err := ofar.ReplayTrace(cfg, recs, *warmup, *measure)
+		if err != nil {
+			fatal("replay failed: %v", err)
+		}
+		if *quiet {
+			fmt.Printf("%s,%s,%.3f,%.2f,%.4f,%d,%d,%d,%d\n",
+				res.Routing, res.Pattern, res.Load, res.AvgLatency, res.Throughput,
+				res.GlobalMisroutes, res.LocalMisroutes, res.RingEnters, res.Delivered)
+		} else {
+			fmt.Printf("replayed      : %d records from %s\n", len(recs), *traceIn)
+			fmt.Printf("avg latency   : %.1f cycles\n", res.AvgLatency)
+			fmt.Printf("throughput    : %.4f phits/(node*cycle)\n", res.Throughput)
+			fmt.Printf("delivered     : %d packets in the measurement window\n", res.Delivered)
+		}
+		fmt.Printf("grant digest  : %016x\n", digest)
+		return
+	}
+
+	// Job-level workload: N concurrent jobs with per-job statistics.
+	if *jobs != "" {
+		if *ckpt != "" || *restore != "" {
+			fatal("-jobs does not compose with -checkpoint/-restore yet")
+		}
+		w, err := ofar.ParseWorkload(*jobs)
+		if err != nil {
+			fatal("%v", err)
+		}
+		switch strings.ToLower(*jobMap) {
+		case "linear":
+		case "random":
+			w.RandomMap = true
+		default:
+			fatal("unknown job mapping %q (linear, random)", *jobMap)
+		}
+		w.Background = *bg
+		// Jobs carry their own loads; -load is a scale factor on all of
+		// them, applied only when given explicitly (its 0.3 default is the
+		// single-pattern convention, not a sensible implicit job scaling).
+		scale := 1.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "load" {
+				scale = *load
+			}
+		})
+		var (
+			jr     ofar.JobsResult
+			digest uint64
+		)
+		if *traceOut != "" {
+			var recs []ofar.TraceRecord
+			jr, recs, digest, err = ofar.RunJobsTraced(cfg, w, scale, *warmup, *measure)
+			if err == nil {
+				err = ofar.SaveTrace(*traceOut, recs)
+			}
+		} else {
+			jr, err = ofar.RunJobs(cfg, w, scale, *warmup, *measure)
+		}
+		if err != nil {
+			fatal("simulation failed: %v", err)
+		}
+		if *quiet {
+			for _, j := range jr.Jobs {
+				fmt.Printf("%s,%s,%d,%.2f,%.2f,%.4f,%d,%d\n",
+					jr.Agg.Routing, j.Job, j.Nodes, j.AvgLatency, j.P99Latency, j.Throughput, j.Delivered, j.Dropped)
+			}
+		} else {
+			fmt.Printf("workload      : %s (scale %.3f)\n", jr.Workload, jr.Scale)
+			fmt.Printf("routing       : %s\n", jr.Agg.Routing)
+			fmt.Printf("aggregate     : avg %.1f cycles, p99 %.1f, throughput %.4f\n",
+				jr.Agg.AvgLatency, jr.Agg.P99Latency, jr.Agg.Throughput)
+			fmt.Printf("%-12s %6s %10s %10s %10s %12s %8s\n", "job", "nodes", "avg", "p99", "thru", "delivered", "dropped")
+			for _, j := range jr.Jobs {
+				fmt.Printf("%-12s %6d %10.1f %10.1f %10.4f %12d %8d\n",
+					j.Job, j.Nodes, j.AvgLatency, j.P99Latency, j.Throughput, j.Delivered, j.Dropped)
+			}
+		}
+		if *traceOut != "" {
+			fmt.Printf("grant digest  : %016x\n", digest)
+			fmt.Printf("trace written : %s\n", *traceOut)
+		}
+		return
+	}
+
 	var res ofar.SteadyResult
-	if *ckpt == "" && *restore == "" {
+	var traceDigest uint64
+	if *traceOut != "" {
+		if *ckpt != "" || *restore != "" {
+			fatal("-trace-out does not compose with -checkpoint/-restore yet")
+		}
+		var recs []ofar.TraceRecord
+		res, recs, traceDigest, err = ofar.RunSteadyTraced(cfg, ps, *load, *warmup, *measure)
+		if err != nil {
+			fatal("simulation failed: %v", err)
+		}
+		if err := ofar.SaveTrace(*traceOut, recs); err != nil {
+			fatal("writing trace %s: %v", *traceOut, err)
+		}
+	} else if *ckpt == "" && *restore == "" {
 		var err error
 		res, err = ofar.RunSteady(cfg, ps, *load, *warmup, *measure)
 		if err != nil {
@@ -198,6 +314,9 @@ func main() {
 		fmt.Printf("%s,%s,%.3f,%.2f,%.4f,%d,%d,%d,%d\n",
 			res.Routing, res.Pattern, res.Load, res.AvgLatency, res.Throughput,
 			res.GlobalMisroutes, res.LocalMisroutes, res.RingEnters, res.Delivered)
+		if *traceOut != "" {
+			fmt.Printf("grant digest  : %016x\n", traceDigest)
+		}
 		return
 	}
 	numGroups := cfg.Groups
@@ -219,6 +338,10 @@ func main() {
 	if len(cfg.Faults) > 0 {
 		fmt.Printf("faults        : %d scheduled, %d packets dropped, %d fault reroutes, %d flows affected\n",
 			len(cfg.Faults), res.Dropped, res.FaultReroutes, res.AffectedFlows)
+	}
+	if *traceOut != "" {
+		fmt.Printf("grant digest  : %016x\n", traceDigest)
+		fmt.Printf("trace written : %s\n", *traceOut)
 	}
 }
 

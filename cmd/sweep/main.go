@@ -33,6 +33,9 @@ func main() {
 		faults  = flag.String("faults", "", "fault schedule: a JSON file of Fault objects, or inline like link@5000:12:7")
 		ckpt    = flag.String("checkpoint", "", "directory to write per-point warm snapshots into (reuse with -restore; single-seed sweeps)")
 		restore = flag.String("restore", "", "directory of warm snapshots: points found there skip warmup, bit-identically (stale entries re-warm)")
+		jobs    = flag.String("jobs", "", "job-level workload instead of -pattern: kind:size@load[,...]; the load axis becomes a scale factor on every job")
+		jobMap  = flag.String("jobmap", "linear", "job placement: linear or random")
+		bg      = flag.Float64("bg", 0, "uniform background load on nodes no job occupies")
 	)
 	flag.Parse()
 
@@ -70,6 +73,41 @@ func main() {
 		} else {
 			loads[i] = *from + (*to-*from)*float64(i)/float64(*points-1)
 		}
+	}
+	// Job-level sweep: the load axis scales every job's load, and the CSV
+	// carries one row per (scale, job) so per-job curves plot directly.
+	if *jobs != "" {
+		w, err := ofar.ParseWorkload(*jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		switch strings.ToLower(*jobMap) {
+		case "linear":
+		case "random":
+			w.RandomMap = true
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown job mapping %q\n", *jobMap)
+			os.Exit(1)
+		}
+		w.Background = *bg
+		if *seeds > 1 || *ckpt != "" || *restore != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -seeds/-checkpoint/-restore apply to pattern sweeps; ignoring")
+		}
+		fmt.Println("routing,job,nodes,scale,avg_latency,p50,p99,throughput,delivered,dropped")
+		for _, scale := range loads {
+			jr, err := ofar.RunJobs(cfg, w, scale, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				os.Exit(1)
+			}
+			for _, j := range jr.Jobs {
+				fmt.Printf("%s,%s,%d,%.4f,%.2f,%.1f,%.1f,%.5f,%d,%d\n",
+					jr.Agg.Routing, j.Job, j.Nodes, scale, j.AvgLatency,
+					j.P50Latency, j.P99Latency, j.Throughput, j.Delivered, j.Dropped)
+			}
+		}
+		return
 	}
 	if *seeds > 1 {
 		if *ckpt != "" || *restore != "" {

@@ -241,6 +241,9 @@ func (n *Network) spliceRing(j, w int) {
 func (n *Network) dropPacket(p *packet.Packet, now int64) {
 	n.Stats.Dropped++
 	n.Stats.NoteAffectedFlow(p.Src, p.Dst)
+	if p.Job >= 0 {
+		n.Stats.JobDropped(int(p.Job))
+	}
 	if n.digestOn {
 		n.fold(2, now, int64(p.Src), int64(p.Dst), p.Born)
 	}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"ofar/internal/trace"
 	"ofar/internal/traffic"
 )
 
@@ -86,6 +87,40 @@ func goldenRun(t *testing.T, spec goldenSpec, workers int, noSched, noCache, sha
 	} else {
 		n.Run(spec.cycles)
 	}
+	return goldenSerialize(t, n, cfg, spec)
+}
+
+// goldenReplayRun runs the serial scenario with a trace recorder attached,
+// then re-injects the recorded packets through a fresh network driven by the
+// TraceReplay generator. Replay determinism means the replayed event stream
+// serializes to the very same golden document as the recording run.
+func goldenReplayRun(t *testing.T, spec goldenSpec) []byte {
+	t.Helper()
+	cfg := DefaultConfig(spec.h)
+	cfg.Seed = 12345
+	cfg.Faults = spec.faults
+	rec := &trace.Recorder{}
+	n := mustNet(t, cfg)
+	t.Cleanup(n.Close)
+	n.SetGenerator(traffic.NewBernoulli(traffic.NewUniform(n.Topo), spec.load, cfg.PacketSize))
+	n.SetTraceRecorder(rec)
+	n.Run(spec.cycles)
+
+	m := mustNet(t, cfg)
+	t.Cleanup(m.Close)
+	gen, err := traffic.NewTraceReplay(rec.Records(), m.Topo.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGenerator(gen)
+	m.EnableGrantLog(goldenHead)
+	m.Run(spec.cycles)
+	return goldenSerialize(t, m, cfg, spec)
+}
+
+// goldenSerialize renders a finished run as its golden document.
+func goldenSerialize(t *testing.T, n *Network, cfg Config, spec goldenSpec) []byte {
+	t.Helper()
 	digest, events := n.GrantDigest()
 	doc := goldenDoc{
 		Network: fmt.Sprintf("h=%d p=%d a=%d groups=%d", cfg.H, cfg.P, cfg.A, n.Topo.G),
@@ -157,6 +192,10 @@ func checkGolden(t *testing.T, path string, spec goldenSpec) {
 			t.Errorf("%s diverged from %s (len %d vs %d) — a behavioral change; "+
 				"if intended, regenerate with -update-golden", v.name, path, len(got), len(want))
 		}
+	}
+	if replay := goldenReplayRun(t, spec); !bytes.Equal(replay, want) {
+		t.Errorf("trace-replay diverged from %s (len %d vs %d) — record/replay no longer "+
+			"reproduces the event stream bit-identically", path, len(replay), len(want))
 	}
 }
 

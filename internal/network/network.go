@@ -13,6 +13,7 @@ import (
 	"ofar/internal/simcore"
 	"ofar/internal/stats"
 	"ofar/internal/topology"
+	"ofar/internal/trace"
 	"ofar/internal/traffic"
 )
 
@@ -153,6 +154,17 @@ type Network struct {
 	// N-th generated packet records its full hop sequence.
 	traceEvery int
 	traces     map[packet.ID]*Trace
+
+	// Job-aware accounting (SetGenerator with a traffic.JobAware source):
+	// node → job slot, consulted once per generated packet to tag it. Nil
+	// under plain generators, keeping their hot path untouched.
+	jobOf []int32
+
+	// Packet-trace recorder (SetTraceRecorder): every generated packet —
+	// including dead-destination drops, which consume a destination draw —
+	// appends one (cycle, src, dst, size) record. Retracted generation
+	// attempts are not recorded; they inject nothing.
+	rec *trace.Recorder
 
 	// CongestionStalls counts node-cycles in which the congestion manager
 	// blocked an injection.
@@ -481,8 +493,31 @@ func autoCutover(workers int) int {
 	return 6 * workers
 }
 
-// SetGenerator attaches the traffic source.
-func (n *Network) SetGenerator(g traffic.Generator) { n.gen = g }
+// SetGenerator attaches the traffic source. A job-aware source additionally
+// sizes the per-job statistics and installs the node→job table used to tag
+// every generated packet; attaching a plain generator clears both.
+func (n *Network) SetGenerator(g traffic.Generator) {
+	n.gen = g
+	n.jobOf = nil
+	if ja, ok := g.(traffic.JobAware); ok {
+		n.jobOf = make([]int32, n.Topo.Nodes)
+		for node := range n.jobOf {
+			n.jobOf[node] = int32(ja.JobOf(node))
+		}
+		names := make([]string, ja.NumJobs())
+		nodes := make([]int, ja.NumJobs())
+		for j := range names {
+			names[j] = ja.JobName(j)
+			nodes[j] = ja.JobNodes(j)
+		}
+		n.Stats.EnableJobs(names, nodes)
+	}
+}
+
+// SetTraceRecorder attaches a packet-trace recorder (nil detaches). Every
+// packet generated from here on appends one record; replaying the records
+// with traffic.TraceReplay reproduces the run bit-identically.
+func (n *Network) SetTraceRecorder(r *trace.Recorder) { n.rec = r }
 
 // Generator returns the attached traffic source.
 func (n *Network) Generator() traffic.Generator { return n.gen }
@@ -636,6 +671,9 @@ func (n *Network) processDue(due []event, now int64) {
 				n.fold(1, now, int64(p.Src), int64(p.Dst), p.Born, p.Injected)
 			}
 			n.Stats.OnDeliver(p.Born, p.Injected, now, p.TotalHops, p.RingHops)
+			if p.Job >= 0 {
+				n.Stats.JobDelivered(int(p.Job), now-p.Born)
+			}
 			n.pool.Put(p)
 		case fxDrop:
 			p := n.fxPkt[i]
@@ -922,6 +960,9 @@ func (n *Network) handleSerial(ev event, now int64) {
 				n.fold(1, now, int64(p.Src), int64(p.Dst), p.Born, p.Injected)
 			}
 			n.Stats.OnDeliver(p.Born, p.Injected, now, p.TotalHops, p.RingHops)
+			if p.Job >= 0 {
+				n.Stats.JobDelivered(int(p.Job), now-p.Born)
+			}
 			n.pool.Put(p)
 		}
 	case evCredit:
@@ -1019,6 +1060,14 @@ func (n *Network) generate(now int64) {
 				n.Stats.Generated++
 				n.Stats.Dropped++
 				n.Stats.NoteAffectedFlow(node, dst)
+				if n.jobOf != nil {
+					j := int(n.jobOf[node])
+					n.Stats.JobGenerated(j)
+					n.Stats.JobDropped(j)
+				}
+				if n.rec != nil {
+					n.rec.Add(now, node, dst, n.Cfg.PacketSize)
+				}
 				if n.digestOn {
 					n.fold(2, now, int64(node), int64(dst), now)
 				}
@@ -1032,6 +1081,13 @@ func (n *Network) generate(now int64) {
 				p.SrcGroup = topo.GroupOfNode(node)
 				p.DstGroup = topo.GroupOfNode(dst)
 				p.Born = now
+				if n.jobOf != nil {
+					p.Job = n.jobOf[node]
+					n.Stats.JobGenerated(int(p.Job))
+				}
+				if n.rec != nil {
+					n.rec.Add(now, node, dst, n.Cfg.PacketSize)
+				}
 				pq.push(p)
 				if n.traceEvery > 0 && n.Stats.Generated%int64(n.traceEvery) == 0 {
 					n.traces[p.ID] = &Trace{Src: node, Dst: dst}
@@ -1302,6 +1358,13 @@ func (n *Network) CheckConservation() error {
 	if n.Stats.Generated != n.Stats.Delivered+n.Stats.Dropped+inNet {
 		return fmt.Errorf("network: conservation violated: generated=%d delivered=%d dropped=%d in-system=%d",
 			n.Stats.Generated, n.Stats.Delivered, n.Stats.Dropped, inNet)
+	}
+	if n.jobOf != nil {
+		// Under a job-aware source every packet is tagged, so the per-job
+		// terminal counters must partition the aggregates exactly.
+		if err := n.Stats.CheckJobConservation(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -48,7 +48,8 @@ const (
 
 	// SnapshotVersion identifies the payload layout. Any change to the
 	// encode/decode pairs below must bump it; Restore rejects other versions.
-	SnapshotVersion = 1
+	// Version 2 added the packet Job tag and the per-job statistics section.
+	SnapshotVersion = 2
 
 	maxSnapCfgJSON = 1 << 20
 	maxSnapPackets = 1 << 26
@@ -639,6 +640,7 @@ func encodePacket(e *simcore.Enc, p *packet.Packet) {
 	e.Int(p.TotalHops)
 	e.Int(p.RingExits)
 	e.Int(p.RingHops)
+	e.I64(int64(p.Job))
 	e.I64(p.Born)
 	e.I64(p.Injected)
 	e.I64(p.Done)
@@ -666,6 +668,7 @@ func (n *Network) decodePacket(d *simcore.Dec, p *packet.Packet) uint64 {
 	p.TotalHops = d.Int()
 	p.RingExits = d.Int()
 	p.RingHops = d.Int()
+	job := d.I64()
 	p.Born = d.I64()
 	p.Injected = d.I64()
 	p.Done = d.I64()
@@ -685,7 +688,12 @@ func (n *Network) decodePacket(d *simcore.Dec, p *packet.Packet) uint64 {
 		d.Fail("packet %d intermediate-group fields out of range", id)
 	case ring < -1 || ring > 127:
 		d.Fail("packet %d ring %d outside int8", id, ring)
+	case job < -1 || job >= int64(n.Stats.Jobs()):
+		// -1 (untagged) is always valid; a tagged packet needs its slot to
+		// exist in the attached generator's job table.
+		d.Fail("packet %d job slot %d outside the %d enabled slots", id, job, n.Stats.Jobs())
 	}
 	p.Ring = int8(ring)
+	p.Job = int32(job)
 	return id
 }

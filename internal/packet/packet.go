@@ -66,6 +66,11 @@ type Packet struct {
 	RingExits int // times the packet has left the escape ring
 	RingHops  int // hops taken on the escape ring
 
+	// Job is the source job slot under a job-aware workload, -1 otherwise.
+	// Read only at the packet's terminal event (delivery or drop) to credit
+	// the right per-job statistics bucket.
+	Job int32
+
 	// Timestamps (in cycles).
 	Born     int64 // generation time at the source node
 	Injected int64 // time the packet entered the injection buffer
@@ -74,7 +79,7 @@ type Packet struct {
 
 // Reset clears a packet for reuse from the pool.
 func (p *Packet) Reset() {
-	*p = Packet{ValiantGroup: -1, MisrouteGroup: -1, BlockedSince: -1, Ring: -1}
+	*p = Packet{ValiantGroup: -1, MisrouteGroup: -1, BlockedSince: -1, Ring: -1, Job: -1}
 }
 
 // EnterGroup updates per-group header state when the packet arrives at a

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -85,7 +86,15 @@ func (m *metrics) quantiles() (p50, p90, p99 float64, n int) {
 	}
 	sort.Float64s(samples)
 	rank := func(q float64) float64 {
-		i := int(q*float64(n)) // nearest-rank on the sorted samples
+		// Nearest-rank: ceil(q·n) is a 1-based rank, so subtract one. The
+		// previous int(q·n) indexing overshot a full rank whenever q·n
+		// landed on an integer — the p90 of 10 samples came back as the
+		// maximum, and the median of 2 as the larger one (the same bug the
+		// utilization summary had).
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
 		if i >= n {
 			i = n - 1
 		}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantilesNearestRank mirrors the utilization-summary regression
+// (TestSummarizeUtilizationP95NotMax): int(q·n) indexing overshot a full
+// rank whenever q·n landed on an integer, so the p90 of 10 samples was the
+// maximum and the median of 2 samples the larger one. Nearest-rank
+// (ceil(q·n), 1-based) keeps every quantile on its order statistic.
+func TestQuantilesNearestRank(t *testing.T) {
+	m := newMetrics()
+	m.observePoint(100 * time.Millisecond)
+	m.observePoint(300 * time.Millisecond)
+	p50, p90, p99, n := m.quantiles()
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if p50 != 0.1 {
+		t.Errorf("median of 2 samples = %v, want the 1st order statistic 0.1", p50)
+	}
+	if p90 != 0.3 || p99 != 0.3 {
+		t.Errorf("p90/p99 of 2 samples = %v/%v, want 0.3/0.3", p90, p99)
+	}
+
+	// p90 of 10 samples: rank ceil(9) = 9 → the 9th order statistic, not
+	// the max. The floor-style indexing returned samples[9] here.
+	m = newMetrics()
+	for i := 1; i <= 10; i++ {
+		m.observePoint(time.Duration(i*100) * time.Millisecond)
+	}
+	p50, p90, p99, n = m.quantiles()
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+	if p90 != 0.9 {
+		t.Errorf("p90 of 1..10 = %v, want 0.9 (not the max 1.0)", p90)
+	}
+	if p50 != 0.5 {
+		t.Errorf("p50 of 1..10 = %v, want 0.5", p50)
+	}
+	if p99 != 1.0 {
+		t.Errorf("p99 of 1..10 = %v, want 1.0", p99)
+	}
+	if p50 > p90 || p90 > p99 {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p90, p99)
+	}
+}
+
+func TestQuantilesSingleSample(t *testing.T) {
+	m := newMetrics()
+	m.observePoint(250 * time.Millisecond)
+	p50, p90, p99, n := m.quantiles()
+	if n != 1 || p50 != 0.25 || p90 != 0.25 || p99 != 0.25 {
+		t.Errorf("single sample: got %v/%v/%v n=%d, want 0.25 across the board", p50, p90, p99, n)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	m := newMetrics()
+	p50, p90, p99, n := m.quantiles()
+	if n != 0 || p50 != 0 || p90 != 0 || p99 != 0 {
+		t.Errorf("empty ring: got %v/%v/%v n=%d, want zeros", p50, p90, p99, n)
+	}
+}

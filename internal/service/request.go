@@ -31,6 +31,18 @@ type Request struct {
 	Loads   []float64 `json:"loads"`
 	Warmup  int       `json:"warmup,omitempty"`  // cycles (default 3000)
 	Measure int       `json:"measure,omitempty"` // cycles (default 5000)
+
+	// Jobs switches the request to a job-level workload (mutually exclusive
+	// with Pattern): the ofar.ParseWorkload syntax, e.g.
+	// "stencil:4x4x4@0.3,a2a:32@0.5". Loads then act as scale factors on
+	// every job's load, and each point's result is an ofar.JobsResult. The
+	// workload's canonical name becomes the pattern component of the cache
+	// key, so job-set points live in the same cache as classic ones.
+	Jobs string `json:"jobs,omitempty"`
+	// JobMap is "linear" (default) or "random" placement.
+	JobMap string `json:"job_map,omitempty"`
+	// Background is uniform load on nodes no job occupies.
+	Background float64 `json:"background,omitempty"`
 }
 
 // resolved is a fully canonicalized request: a validated configuration and
@@ -40,10 +52,20 @@ type Request struct {
 type resolved struct {
 	cfg     ofar.Config
 	ps      ofar.PatternSpec
-	loads   []float64
+	jobs    *ofar.Workload // non-nil for job-set requests; ps is then unused
+	loads   []float64      // offered loads, or scale factors for job sets
 	warmup  int
 	measure int
 	canon   []byte // CanonicalConfigJSON(cfg)
+}
+
+// patternName returns the cache-key pattern component: the workload's
+// canonical name for job-set requests, the pattern label otherwise.
+func (r *resolved) patternName() string {
+	if r.jobs != nil {
+		return r.jobs.Name()
+	}
+	return r.ps.Name()
 }
 
 const (
@@ -90,15 +112,37 @@ func resolveRequest(req Request, maxLoads int) (resolved, error) {
 	if err := r.cfg.Validate(); err != nil {
 		return r, err
 	}
-	pat := req.Pattern
-	if pat == "" {
-		pat = "UN"
+	if req.Jobs != "" {
+		if req.Pattern != "" {
+			return r, fmt.Errorf("pattern and jobs are mutually exclusive")
+		}
+		w, err := ofar.ParseWorkload(req.Jobs)
+		if err != nil {
+			return r, fmt.Errorf("parsing jobs: %w", err)
+		}
+		switch strings.ToLower(strings.TrimSpace(req.JobMap)) {
+		case "", "linear":
+		case "random":
+			w.RandomMap = true
+		default:
+			return r, fmt.Errorf("job_map %q: want linear or random", req.JobMap)
+		}
+		if math.IsNaN(req.Background) || math.IsInf(req.Background, 0) || req.Background < 0 || req.Background > 2 {
+			return r, fmt.Errorf("background %v outside [0, 2]", req.Background)
+		}
+		w.Background = req.Background
+		r.jobs = &w
+	} else {
+		pat := req.Pattern
+		if pat == "" {
+			pat = "UN"
+		}
+		ps, err := ofar.ParsePattern(pat, r.cfg.H)
+		if err != nil {
+			return r, err
+		}
+		r.ps = ps
 	}
-	ps, err := ofar.ParsePattern(pat, r.cfg.H)
-	if err != nil {
-		return r, err
-	}
-	r.ps = ps
 	if len(req.Loads) == 0 {
 		return r, fmt.Errorf("loads must name at least one offered load")
 	}
@@ -125,9 +169,11 @@ func resolveRequest(req Request, maxLoads int) (resolved, error) {
 	if r.warmup+r.measure > maxCycles {
 		return r, fmt.Errorf("warmup+measure %d exceeds the service cap %d cycles", r.warmup+r.measure, maxCycles)
 	}
-	if r.canon, err = ofar.CanonicalConfigJSON(r.cfg); err != nil {
+	canon, err := ofar.CanonicalConfigJSON(r.cfg)
+	if err != nil {
 		return r, err
 	}
+	r.canon = canon
 	return r, nil
 }
 

@@ -33,6 +33,10 @@ import (
 // blocking runners.
 type PointRunner func(cfg ofar.Config, ps ofar.PatternSpec, load float64, warmup, measure int, opt ofar.SweepOptions) (ofar.SteadyResult, bool, error)
 
+// JobsRunner computes one job-set point (per-job statistics included). The
+// default is ofar.RunJobs; tests substitute counting runners.
+type JobsRunner func(cfg ofar.Config, w ofar.Workload, scale float64, warmup, measure int) (ofar.JobsResult, error)
+
 // Options configures a Server. Zero values pick sensible defaults.
 type Options struct {
 	// CacheEntries bounds the in-memory result LRU (default 4096).
@@ -54,6 +58,8 @@ type Options struct {
 	MaxLoads int
 	// Runner substitutes the simulation function (tests).
 	Runner PointRunner
+	// JobsRunnerFn substitutes the job-set simulation function (tests).
+	JobsRunnerFn JobsRunner
 }
 
 // Server is the sweep service. It implements http.Handler with three
@@ -68,6 +74,7 @@ type Server struct {
 	mux     *http.ServeMux
 	warmDir string
 	runner  PointRunner
+	jobsRun JobsRunner
 }
 
 // New assembles a server. Close it when done to stop the worker pool.
@@ -92,6 +99,10 @@ func New(opts Options) (*Server, error) {
 	}
 	if s.runner == nil {
 		s.runner = ofar.RunSweepPoint
+	}
+	s.jobsRun = opts.JobsRunnerFn
+	if s.jobsRun == nil {
+		s.jobsRun = ofar.RunJobs
 	}
 	resultsDir := ""
 	if opts.DiskDir != "" {
@@ -201,7 +212,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	keys := make([]uint64, len(res.loads))
 	for i, l := range res.loads {
-		keys[i] = pointKey(res.canon, res.ps.Name(), l, res.warmup, res.measure, s.digest)
+		keys[i] = pointKey(res.canon, res.patternName(), l, res.warmup, res.measure, s.digest)
 	}
 
 	// Admission: count the points that would create NEW work — not cached,
@@ -321,6 +332,16 @@ func (s *Server) point(rs *reqState, res resolved, key uint64, index int) PointR
 		s.pool.Submit(simWidth(res.cfg), func() {
 			defer close(done)
 			t0 := time.Now()
+			if res.jobs != nil {
+				r, err := s.jobsRun(res.cfg, *res.jobs, res.loads[index], res.warmup, res.measure)
+				s.met.observeSim(time.Since(t0))
+				if err != nil {
+					rerr = err
+					return
+				}
+				out, rerr = json.Marshal(r)
+				return
+			}
 			r, restored, err := s.runner(res.cfg, res.ps, res.loads[index], res.warmup, res.measure, s.sweepOptions())
 			s.met.observeSim(time.Since(t0))
 			if err != nil {

@@ -437,3 +437,88 @@ func TestServerShorthandRequest(t *testing.T) {
 		t.Errorf("result routing/pattern = %v/%q, want MIN/ADV+1", got.Routing, got.Pattern)
 	}
 }
+
+// TestServerJobsRequest: a job-set request runs through the same queue,
+// cache and NDJSON stream as classic sweeps — loads act as scale factors,
+// each point carries a full per-job JobsResult, and the identical follow-up
+// request is served from cache without re-simulating.
+func TestServerJobsRequest(t *testing.T) {
+	var calls atomic.Int64
+	stub := func(cfg ofar.Config, w ofar.Workload, scale float64, warmup, measure int) (ofar.JobsResult, error) {
+		calls.Add(1)
+		return ofar.RunJobs(cfg, w, scale, warmup, measure)
+	}
+	_, ts := startServer(t, Options{Sims: 2, MaxQueue: 8, JobsRunnerFn: stub})
+	req := Request{
+		H:       2,
+		Jobs:    "a2a:12@0.5,ring:12@0.2",
+		Loads:   []float64{0.5, 1.0},
+		Warmup:  200,
+		Measure: 400,
+	}
+	r := postSweep(t, ts.URL, req)
+	if r.status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", r.status, r.raw)
+	}
+	if len(r.points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.points))
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("cold request simulated %d points, want 2", calls.Load())
+	}
+	for _, p := range r.points {
+		i := p.Index // points stream in completion order
+		if p.Error != "" {
+			t.Fatalf("point %d: %s", i, p.Error)
+		}
+		var jr ofar.JobsResult
+		if err := json.Unmarshal(p.Result, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Scale != req.Loads[i] {
+			t.Errorf("point %d scale %v, want %v", i, jr.Scale, req.Loads[i])
+		}
+		if len(jr.Jobs) != 2 {
+			t.Errorf("point %d carries %d job rows, want 2", i, len(jr.Jobs))
+		}
+		if jr.Jobs[0].Job != "a2a0" || jr.Jobs[1].Job != "ring1" {
+			t.Errorf("point %d job names %q/%q", i, jr.Jobs[0].Job, jr.Jobs[1].Job)
+		}
+	}
+
+	// Identical request: all cache, no new simulations.
+	r2 := postSweep(t, ts.URL, req)
+	if r2.status != http.StatusOK {
+		t.Fatalf("second request: HTTP %d", r2.status)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("cached request re-simulated: %d calls total, want 2", calls.Load())
+	}
+	for i, p := range r2.points {
+		if p.Source != "cache" {
+			t.Errorf("point %d source %q, want cache", i, p.Source)
+		}
+	}
+
+	// A different mapping is a different cache identity.
+	req.JobMap = "random"
+	r3 := postSweep(t, ts.URL, req)
+	if r3.status != http.StatusOK {
+		t.Fatalf("random-map request: HTTP %d", r3.status)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("random-map request hit the linear cache: %d calls, want 4", calls.Load())
+	}
+
+	// Jobs and pattern together must be rejected.
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"h":2,"jobs":"a2a:8@0.5","pattern":"UN","loads":[0.5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("jobs+pattern: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -41,6 +41,14 @@ func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
 // Int appends a machine int as a signed 64-bit value.
 func (e *Enc) Int(v int) { e.I64(int64(v)) }
 
+// U32 appends one unsigned 32-bit value, little endian.
+func (e *Enc) U32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U16 appends one unsigned 16-bit value, little endian.
+func (e *Enc) U16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+
 // U8 appends one byte.
 func (e *Enc) U8(v uint8) { e.b = append(e.b, v) }
 
@@ -129,6 +137,24 @@ func (d *Dec) Int() int {
 		return 0
 	}
 	return int(v)
+}
+
+// U32 reads one unsigned 32-bit value.
+func (d *Dec) U32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+
+// U16 reads one unsigned 16-bit value.
+func (d *Dec) U16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return uint16(s[0]) | uint16(s[1])<<8
 }
 
 // U8 reads one byte.

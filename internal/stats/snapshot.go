@@ -17,6 +17,7 @@ const (
 	maxSeriesBuckets = 1 << 28
 	maxHistBuckets   = 1 << 16
 	maxUtilCounters  = 1 << 28
+	maxJobSlots      = 1 << 20
 )
 
 // EncodeState appends the full statistics state to e.
@@ -71,6 +72,19 @@ func (r *Run) EncodeState(e *simcore.Enc) {
 		for _, v := range r.util {
 			e.I64(v)
 		}
+	}
+
+	e.Int(len(r.jobs))
+	for i := range r.jobs {
+		s := &r.jobs[i]
+		e.Bytes([]byte(s.Name))
+		e.Int(s.Nodes)
+		e.I64(s.Generated)
+		e.I64(s.Delivered)
+		e.I64(s.Dropped)
+		e.I64(s.mDelivered)
+		e.F64(s.mLatSum)
+		s.hist.encodeState(e)
 	}
 }
 
@@ -136,6 +150,32 @@ func (r *Run) DecodeState(d *simcore.Dec) error {
 				r.util[i] = d.I64()
 			}
 		}
+	}
+
+	// Per-job slots are sized by the attached generator before the restore
+	// reaches the statistics section, so shape mismatches mean the snapshot
+	// was taken under a different workload and must be rejected.
+	nJobs := d.Len(maxJobSlots)
+	if d.Err() == nil && nJobs != len(r.jobs) {
+		d.Fail("stats carry %d job slots, sink has %d", nJobs, len(r.jobs))
+	}
+	for i := 0; i < nJobs && d.Err() == nil; i++ {
+		s := &r.jobs[i]
+		name := string(d.Bytes(1 << 16))
+		if d.Err() == nil && name != s.Name {
+			d.Fail("job slot %d named %q, sink has %q", i, name, s.Name)
+		}
+		s.Nodes = d.Int()
+		s.Generated = d.I64()
+		s.Delivered = d.I64()
+		s.Dropped = d.I64()
+		s.mDelivered = d.I64()
+		s.mLatSum = d.F64()
+		if d.Err() == nil && (s.Nodes < 0 || s.Generated < 0 || s.Delivered < 0 || s.Dropped < 0 || s.Delivered+s.Dropped > s.Generated) {
+			d.Fail("job slot %d counters gen=%d del=%d drop=%d inconsistent", i, s.Generated, s.Delivered, s.Dropped)
+		}
+		s.hist = &Histogram{}
+		s.hist.decodeState(d)
 	}
 	return d.Err()
 }

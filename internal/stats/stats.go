@@ -50,6 +50,7 @@ type Run struct {
 	hist   *Histogram
 	util   []int64 // flattened per (router,port) busy-phit counter, optional
 	ports  int
+	jobs   []JobStats // per-job accounting, sized by EnableJobs
 }
 
 // NewRun creates a statistics sink for a network of the given size.
@@ -127,6 +128,10 @@ func (r *Run) StartMeasurement(now int64) {
 	r.mLatMax = 0
 	r.mHopsMax = 0
 	r.mCanHopsMax = 0
+	for i := range r.jobs {
+		r.jobs[i].mDelivered = 0
+		r.jobs[i].mLatSum = 0
+	}
 }
 
 // StopMeasurement freezes the window (deliveries stop accumulating).

@@ -1,0 +1,164 @@
+// Package trace defines the compact binary packet-trace format: every
+// packet a simulation generates, as (cycle, src, dst, size) records, behind
+// a versioned header in the snapshot (`OFARSNAP`) style — magic, format
+// version, the engine's physics digest for provenance, and an FNV-1a
+// checksum over the record payload so corruption fails loudly before any
+// record is interpreted.
+//
+// A recorded trace replayed through traffic.TraceReplay reproduces the
+// original run bit-identically (same grant digest): generation is the only
+// consumer of the traffic RNG, so re-injecting the identical packet stream
+// at the identical cycles leaves every router decision unchanged. External
+// traces use the same format; the engine digest in the header then simply
+// records which physics wrote the file (zero for foreign tools).
+//
+// Records are 14 bytes each: a uint32 cycle delta from the previous record
+// (records must be sorted by cycle — the recorder emits them that way),
+// uint32 source and destination node indices, and a uint16 packet size in
+// phits.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ofar/internal/simcore"
+)
+
+const (
+	// Magic identifies a trace file; Version the record layout. Bump
+	// Version on any layout change so old readers reject new files.
+	Magic   = "OFARTRCE"
+	Version = 1
+
+	recordBytes = 4 + 4 + 4 + 2
+
+	// maxRecords bounds a decoded trace (~7 GiB of records) so a corrupt
+	// count cannot drive an unbounded allocation.
+	maxRecords = 1 << 29
+)
+
+// Record is one generated packet: the cycle it was generated, its source
+// and destination nodes, and its size in phits.
+type Record struct {
+	Cycle int64
+	Src   int32
+	Dst   int32
+	Size  uint16
+}
+
+// Recorder accumulates generation records in the order the network emits
+// them: ascending cycle, ascending source node within a cycle. It attaches
+// to a network via SetTraceRecorder and costs one append per generated
+// packet.
+type Recorder struct {
+	recs []Record
+}
+
+// Add appends one generated packet.
+func (r *Recorder) Add(cycle int64, src, dst, size int) {
+	r.recs = append(r.recs, Record{Cycle: cycle, Src: int32(src), Dst: int32(dst), Size: uint16(size)})
+}
+
+// Len reports how many packets have been recorded.
+func (r *Recorder) Len() int { return len(r.recs) }
+
+// Records returns the recorded packets. The slice is owned by the recorder.
+func (r *Recorder) Records() []Record { return r.recs }
+
+// Encode serializes records behind the versioned header. engine is the
+// physics digest of the producing build (provenance; zero for external
+// producers). Records must be sorted by cycle with non-negative fields.
+func Encode(engine uint64, recs []Record) ([]byte, error) {
+	var payload simcore.Enc
+	payload.Int(len(recs))
+	prev := int64(0)
+	for i, rec := range recs {
+		delta := rec.Cycle - prev
+		switch {
+		case rec.Cycle < 0:
+			return nil, fmt.Errorf("trace: record %d has negative cycle %d", i, rec.Cycle)
+		case delta < 0:
+			return nil, fmt.Errorf("trace: record %d at cycle %d out of order (previous %d)", i, rec.Cycle, prev)
+		case delta > int64(^uint32(0)):
+			return nil, fmt.Errorf("trace: record %d cycle gap %d exceeds uint32", i, delta)
+		case rec.Src < 0 || rec.Dst < 0:
+			return nil, fmt.Errorf("trace: record %d has negative endpoint %d→%d", i, rec.Src, rec.Dst)
+		}
+		payload.U32(uint32(delta))
+		payload.U32(uint32(rec.Src))
+		payload.U32(uint32(rec.Dst))
+		payload.U16(rec.Size)
+		prev = rec.Cycle
+	}
+	var out simcore.Enc
+	out.Raw([]byte(Magic))
+	out.U64(Version)
+	out.U64(engine)
+	out.U64(simcore.Checksum64(payload.Data()))
+	out.Raw(payload.Data())
+	return out.Data(), nil
+}
+
+// Decode parses a trace image, returning the recorded engine digest and the
+// records. It never panics on malformed input: the header, checksum and
+// every record field are validated, and a structural error surfaces as err.
+func Decode(b []byte) (engine uint64, recs []Record, err error) {
+	d := simcore.NewDec(b)
+	magic := d.Raw(len(Magic))
+	if d.Err() == nil && string(magic) != Magic {
+		return 0, nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	if v := d.U64(); d.Err() == nil && v != Version {
+		return 0, nil, fmt.Errorf("trace: format version %d, this build reads %d", v, Version)
+	}
+	engine = d.U64()
+	sum := d.U64()
+	if d.Err() != nil {
+		return 0, nil, d.Err()
+	}
+	payload := d.Raw(d.Remaining())
+	if got := simcore.Checksum64(payload); got != sum {
+		return 0, nil, fmt.Errorf("trace: payload checksum %016x, header says %016x", got, sum)
+	}
+	pd := simcore.NewDec(payload)
+	n := pd.Len(maxRecords)
+	if pd.Err() == nil && pd.Remaining() != n*recordBytes {
+		pd.Fail("payload holds %d bytes for %d records, want %d", pd.Remaining(), n, n*recordBytes)
+	}
+	if pd.Err() != nil {
+		return 0, nil, pd.Err()
+	}
+	recs = make([]Record, n)
+	cycle := int64(0)
+	for i := range recs {
+		cycle += int64(pd.U32())
+		recs[i] = Record{Cycle: cycle, Src: int32(pd.U32()), Dst: int32(pd.U32()), Size: pd.U16()}
+		if recs[i].Src < 0 || recs[i].Dst < 0 {
+			pd.Fail("record %d endpoint outside int32", i)
+		}
+	}
+	if pd.Err() != nil {
+		return 0, nil, pd.Err()
+	}
+	return engine, recs, nil
+}
+
+// Write encodes records to w (see Encode).
+func Write(w io.Writer, engine uint64, recs []Record) error {
+	b, err := Encode(engine, recs)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Read decodes a full trace stream from r (see Decode).
+func Read(r io.Reader) (uint64, []Record, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sample() []Record {
+	return []Record{
+		{Cycle: 0, Src: 3, Dst: 9, Size: 8},
+		{Cycle: 0, Src: 7, Dst: 1, Size: 8},
+		{Cycle: 2, Src: 0, Dst: 5, Size: 8},
+		{Cycle: 1000, Src: 12, Dst: 12, Size: 16},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := sample()
+	b, err := Encode(0xdeadbeef, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != 0xdeadbeef {
+		t.Errorf("engine digest %x", engine)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, recs)
+	}
+
+	// Empty traces round-trip too.
+	b, err = Encode(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err = Decode(b); err != nil || len(got) != 0 {
+		t.Errorf("empty trace: %v, %v", got, err)
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	var rec Recorder
+	rec.Add(5, 1, 2, 8)
+	rec.Add(6, 3, 4, 8)
+	if rec.Len() != 2 {
+		t.Fatalf("recorder len %d", rec.Len())
+	}
+	if err := Write(&buf, 42, rec.Records()); err != nil {
+		t.Fatal(err)
+	}
+	engine, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != 42 || len(got) != 2 || got[1].Cycle != 6 {
+		t.Errorf("read back engine=%d recs=%v", engine, got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := map[string][]Record{
+		"out of order":   {{Cycle: 10, Src: 1, Dst: 2}, {Cycle: 9, Src: 1, Dst: 2}},
+		"negative cycle": {{Cycle: -1, Src: 1, Dst: 2}},
+		"negative src":   {{Cycle: 0, Src: -1, Dst: 2}},
+		"negative dst":   {{Cycle: 0, Src: 1, Dst: -2}},
+	}
+	for name, recs := range cases {
+		if _, err := Encode(0, recs); err == nil {
+			t.Errorf("%s: encode accepted invalid records", name)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b, err := Encode(7, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), b...)
+	bad[0] ^= 0xff
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), b...)
+	bad[8] = 99
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Flipped payload byte breaks the checksum.
+	bad = append([]byte(nil), b...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	// Truncation anywhere never panics and always errors.
+	for i := 0; i < len(b); i++ {
+		if _, _, err := Decode(b[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+// FuzzTraceRoundTrip pins two properties: the decoder never panics on
+// arbitrary bytes, and any image it accepts re-encodes to a decode-equal
+// record list (round-trip identity).
+func FuzzTraceRoundTrip(f *testing.F) {
+	seed, _ := Encode(0x1234, sample())
+	f.Add(seed)
+	empty, _ := Encode(0, nil)
+	f.Add(empty)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		engine, recs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		b, err := Encode(engine, recs)
+		if err != nil {
+			t.Fatalf("re-encoding accepted records: %v", err)
+		}
+		engine2, recs2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decoding re-encoded image: %v", err)
+		}
+		if engine2 != engine || !reflect.DeepEqual(recs2, recs) {
+			t.Fatalf("round trip not identity: %v vs %v", recs2, recs)
+		}
+	})
+}

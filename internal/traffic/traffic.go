@@ -137,6 +137,26 @@ type CloneableGenerator interface {
 	CloneGenerator() Generator
 }
 
+// JobAware is implemented by generators that partition the sources into
+// jobs (JobSet). The network uses it to tag every generated packet with its
+// source's job slot and to size the per-job statistics, so experiments can
+// report per-job latency, throughput and drop counts instead of only the
+// aggregate. The node→job assignment must be static for the lifetime of a
+// run (placement happens at construction).
+type JobAware interface {
+	Generator
+	// NumJobs returns the number of job slots, including the background
+	// slot when background traffic is configured.
+	NumJobs() int
+	// JobOf returns the job slot of a node, or -1 when the node belongs to
+	// no job and generates nothing.
+	JobOf(node int) int
+	// JobName returns the display name of a job slot.
+	JobName(j int) string
+	// JobNodes returns how many nodes a job slot occupies.
+	JobNodes(j int) int
+}
+
 // Bernoulli is the steady-state source: each node independently generates a
 // packet with probability load/packetSize per cycle, so the offered load is
 // `load` phits/(node·cycle).
@@ -267,15 +287,23 @@ func (b *Burst) DecodeState(d *simcore.Dec) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
+	sum := 0
 	for i := range b.sent {
 		s := d.Int()
 		if d.Err() == nil && (s < 0 || s > b.perNode) {
 			d.Fail("burst sent[%d]=%d outside [0,%d]", i, s, b.perNode)
 		}
 		b.sent[i] = s
+		sum += s
 	}
 	if d.Err() == nil && (emitted < 0 || emitted > b.total) {
 		d.Fail("burst emitted %d outside [0,%d]", emitted, b.total)
+	}
+	// The per-node counters and the emitted total are redundant views of the
+	// same progress; a snapshot where they disagree is corrupt even when each
+	// value is individually in range (Done() would fire early or never).
+	if d.Err() == nil && emitted != sum {
+		d.Fail("burst emitted %d != sum of per-node sent %d", emitted, sum)
 	}
 	b.emitted = emitted
 	return d.Err()
