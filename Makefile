@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-compare vet cover cover-check figures figures-h6 fuzz serve smoke-serve smoke-trace clean
+.PHONY: all build test test-short test-race bench bench-json bench-h6 bench-h8 bench-compare golden-regen vet cover cover-check figures figures-h6 fuzz serve smoke-serve smoke-trace clean
 
 all: build test
 
@@ -47,13 +47,19 @@ bench:
 # against the committed BENCH_step.json.
 BENCH_TIME ?= 1s
 BENCH_COUNT ?= 3
+# The full matrix at default settings runs well past go test's 10-minute
+# default; a timeout mid-pipe truncates the JSON silently (benchjson drops
+# the panic dump as non-bench lines), so give the binary explicit headroom.
+BENCH_TIMEOUT ?= 40m
 
 bench-json:
-	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch|Snapshot' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) \
-		| $(GO) run ./cmd/benchjson \
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|StepPhases|NetworkStep|PoolDispatch|Snapshot' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -timeout $(BENCH_TIMEOUT) \
+		| $(GO) run ./cmd/benchjson -phases \
 		-note "Snapshot* rows are the checkpoint layer: encode/restore a warm h=3 image (~0.7 MB) in ~3 ms, full Fork ~9 ms — the fixed cost each warm-fork sweep point pays." \
 		-note "warm-cache sweep speedup: sweep -h 3 -points 5 -warmup 3000 -measure 1000 with -checkpoint/-restore dropped 1.43 s -> 0.53 s (~2.7x) on the second invocation, restoring all 5 points and skipping 15000 warmup cycles; CSV rows bit-identical (TestWarmCacheSweep)." \
 		-note "h6 rows are the full-scale regime (876 routers): serial vs ShardByGroup+4 workers through the production cutover (on a single-P host both take the serial path; on multicore the shard rows dispatch whole groups to the pool, bit-identically — TestH6ShardedSmoke). The group-sharding PR cut the saturated (load=0.90) h=6 serial step from 6.84 ms (min of 3, pre-PR engine on this machine) to 4.35-4.9 ms (~1.5x on the min-fold) via per-group SoA arenas, block-carved packet allocation, the Cycle head/arbiter prefetch pass and the serial event-loop lookahead." \
+		-note "h8 rows are the stretch regime the sharded injection front-end opened (a=16, 129 groups, 2064 routers, 16512 nodes): load edges only, 500-cycle warm-up — a cost tracker, not the paper protocol. StepPhases rows carry the per-phase breakdown (see the phases map); the host block records the machine shape the numbers were taken on." \
+		-note "injection-shard no-regression check: interleaved same-day A/B of the pre-shard engine vs this one on h6/load=0.90/serial (8 samples each, 1s benchtime) gave old min 4.78 ms / new min 4.87 ms with overlapping spreads and a slightly better new-engine mean — parity within this box's ±8% noise; bytes/op rose ~2 KB from the per-group packet pools (allocs/op unchanged at 6)." \
 		> BENCH_step.json
 	@cat BENCH_step.json
 
@@ -61,15 +67,29 @@ bench-json:
 # the headline numbers of the sharded engine and the default figure regime
 # since ShardByGroup. Warm-up dominates (2000 full-size cycles per row).
 bench-h6:
-	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad/h6' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT)
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad/h6' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -timeout $(BENCH_TIMEOUT)
+
+# Stretch-regime h=8 Step rows (a=16, 129 groups, 2064 routers, 16512 nodes;
+# serial vs group-sharded): the regime the sharded injection front-end
+# opened. Load edges only — see BenchmarkStepByLoad for why.
+bench-h8:
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad/h8' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -timeout $(BENCH_TIMEOUT)
+
+# Rebuild every golden trace fixture (testdata/golden_*.json) from the
+# serial reference engine. Run after a deliberate physics change — e.g. a
+# new RNG derivation order — then inspect the diff; the non-serial variants
+# still compare against the rewritten file in the same run, so a divergence
+# between engines fails even while regenerating.
+golden-regen:
+	$(GO) test ./internal/network -run TestGoldenTrace -update-golden -count=1
 
 # Informational perf diff against the committed baseline: rerun the tracked
 # Step benchmarks to a temp file and print per-row ns/op deltas versus
 # BENCH_step.json. Never gates a build — timing on shared machines is
 # advisory (override BENCH_TIME/BENCH_COUNT for a quicker, noisier pass).
 bench-compare:
-	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|NetworkStep|PoolDispatch|Snapshot' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) \
-		| $(GO) run ./cmd/benchjson > $(or $(TMPDIR),/tmp)/bench_fresh.json
+	$(GO) test ./internal/network -run '^$$' -bench 'StepByLoad|StepPhases|NetworkStep|PoolDispatch|Snapshot' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -timeout $(BENCH_TIMEOUT) \
+		| $(GO) run ./cmd/benchjson -phases > $(or $(TMPDIR),/tmp)/bench_fresh.json
 	$(GO) run ./cmd/benchcmp BENCH_step.json $(or $(TMPDIR),/tmp)/bench_fresh.json
 
 # Regenerate every paper figure at laptop scale (h=3) with SVG charts.

@@ -87,6 +87,21 @@ func (w *WarmState) Measure(measure int) (SteadyResult, error) {
 	return measureSteady(n, w.pattern, w.load, measure)
 }
 
+// MeasureTimed is Measure with per-phase Step timing enabled on the fork,
+// additionally returning where the measurement window's wall-clock went.
+// The result is bit-identical to Measure's — timing is observation only —
+// and the parent stays untouched either way.
+func (w *WarmState) MeasureTimed(measure int) (SteadyResult, PhaseNanos, error) {
+	n, err := w.net.Fork()
+	if err != nil {
+		return SteadyResult{}, PhaseNanos{}, err
+	}
+	defer n.Close()
+	n.EnablePhaseTimings()
+	res, err := measureSteady(n, w.pattern, w.load, measure)
+	return res, n.PhaseTimings(), err
+}
+
 // EngineDigest returns the engine's physics fingerprint: the grant digest of
 // one small canonical run, computed once per process (see
 // network.EngineDigest). Snapshot restores refuse images written by a
@@ -113,6 +128,13 @@ func sweepPoint(cfg Config, ps PatternSpec, load float64, warmup, measure int, o
 		return SteadyResult{}, false, err
 	}
 	defer w.Close()
+	if opt.PhaseSink != nil {
+		res, ph, err := w.MeasureTimed(measure)
+		if err == nil {
+			opt.PhaseSink(ph)
+		}
+		return res, restored, err
+	}
 	res, err := w.Measure(measure)
 	return res, restored, err
 }

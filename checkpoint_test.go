@@ -48,6 +48,36 @@ func TestWarmMeasureMatchesRunSteady(t *testing.T) {
 	}
 }
 
+// TestMeasureTimedMatchesMeasure pins the phase-timing contract: MeasureTimed
+// returns the exact SteadyResult Measure does (timing is observation only)
+// plus a breakdown that accounted every measured cycle.
+func TestMeasureTimedMatchesMeasure(t *testing.T) {
+	cfg := warmTestConfig()
+	const warmup, measure = 300, 400
+	w, err := Warm(cfg, Uniform(), 0.6, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	plain, err := w.Measure(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, ph, err := w.MeasureTimed(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed != plain {
+		t.Fatalf("timed measurement diverged from plain:\n timed %+v\n plain %+v", timed, plain)
+	}
+	if ph.Cycles != measure {
+		t.Fatalf("phase breakdown covered %d cycles, want %d", ph.Cycles, measure)
+	}
+	if ph.Events < 0 || ph.Generate < 0 || ph.Routers < 0 {
+		t.Fatalf("negative phase times: %+v", ph)
+	}
+}
+
 // TestWarmSnapshotRoundTrip proves a warm state survives serialization: a
 // measurement off a WarmFromSnapshot parent equals one off the original.
 func TestWarmSnapshotRoundTrip(t *testing.T) {

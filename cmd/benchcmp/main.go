@@ -6,6 +6,12 @@
 // must never gate a build. Non-zero exit is reserved for unreadable or
 // malformed input.
 //
+// When both documents carry a host block (GOMAXPROCS / CPU count, recorded
+// by benchjson since the sharded-injection PR) and the shapes differ — or
+// one side predates the block — a warning goes to stderr: a delta between a
+// 1-P container and a multicore workstation measures the machines, not the
+// code. The diff still prints; the warning is context, not a gate.
+//
 //	make bench-json                         # refresh BENCH_step.json
 //	go run ./cmd/benchcmp old.json new.json # or `make bench-compare`
 package main
@@ -28,28 +34,45 @@ type result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-func load(path string) ([]result, map[string]result, error) {
+// host mirrors cmd/benchjson's Host; a nil pointer after load means the
+// document predates the host block.
+type host struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+}
+
+func load(path string) ([]result, map[string]result, *host, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	// Two wire formats: the bare array, or (when benchjson was given -note)
-	// an object wrapping the rows with annotations. Notes never diff.
+	// Two wire formats: the bare array, or the envelope wrapping the rows
+	// with a host block and annotations. Notes never diff.
 	var rs []result
+	var h *host
 	if err := json.Unmarshal(data, &rs); err != nil {
 		var doc struct {
+			Host       *host    `json:"host"`
 			Benchmarks []result `json:"benchmarks"`
 		}
 		if err2 := json.Unmarshal(data, &doc); err2 != nil || doc.Benchmarks == nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		rs = doc.Benchmarks
+		rs, h = doc.Benchmarks, doc.Host
 	}
 	byName := make(map[string]result, len(rs))
 	for _, r := range rs {
 		byName[r.Name] = r
 	}
-	return rs, byName, nil
+	return rs, byName, h, nil
+}
+
+// describe renders a host block for the shape warning.
+func describe(h *host) string {
+	if h == nil {
+		return "unrecorded"
+	}
+	return fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", h.GoMaxProcs, h.NumCPU)
 }
 
 func main() {
@@ -57,15 +80,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: %s OLD.json NEW.json\n", os.Args[0])
 		os.Exit(2)
 	}
-	oldRows, _, err := load(os.Args[1])
+	oldRows, _, oldHost, err := load(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	_, newBy, err := load(os.Args[2])
+	_, newBy, newHost, err := load(os.Args[2])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
+	}
+	if oldHost == nil || newHost == nil || *oldHost != *newHost {
+		fmt.Fprintf(os.Stderr, "benchcmp: warning: host shapes differ (old: %s, new: %s) — ns/op deltas compare machines as much as code\n",
+			describe(oldHost), describe(newHost))
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)

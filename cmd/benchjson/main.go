@@ -15,9 +15,21 @@
 // maximum allocs keeps the committed zero-alloc claim honest — a single
 // allocating run must show. Iterations accumulate across the folded runs.
 //
-// Each -note flag (repeatable) attaches a free-form annotation; with notes
-// the document becomes {"notes": [...], "benchmarks": [...]} instead of the
-// bare array, which cmd/benchcmp reads either way.
+// The document is an envelope {"host": {...}, "notes": [...], "benchmarks":
+// [...]} (notes omitted when none were given); cmd/benchcmp also still reads
+// the bare-array form older baselines used. The host block records the
+// machine shape the numbers were taken on — GOMAXPROCS (parsed from the
+// `-N` suffix Go appends to benchmark names when it is >1, else the tool's
+// own runtime value) and the CPU count — because ns/op from a 1-P container
+// and a 32-core workstation are not comparable and the file itself should
+// say which one it is. The `-N` suffix is stripped from the recorded names
+// so the same benchmark folds to the same key on every host.
+//
+// Each -note flag (repeatable) attaches a free-form annotation. With -phases,
+// custom per-phase metrics (the `<phase>-ns/op` columns BenchmarkStepPhases
+// reports via b.ReportMetric) are captured into a "phases" map per entry,
+// min-folded like ns/op; without the flag they are ignored, keeping
+// long-tracked entries byte-stable.
 package main
 
 import (
@@ -33,43 +45,75 @@ import (
 )
 
 // Result is one benchmark line. NsPerOp and AllocsPerOp mirror the columns
-// testing.B reports; BytesPerOp rides along when -benchmem was set.
+// testing.B reports; BytesPerOp rides along when -benchmem was set, Phases
+// when -phases captured custom <phase>-ns/op metrics.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Phases      map[string]float64 `json:"phases,omitempty"`
+}
+
+// Host is the machine shape a baseline was recorded on.
+type Host struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+}
+
+// splitProcs strips the "-N" GOMAXPROCS suffix Go appends to benchmark names
+// (only when GOMAXPROCS > 1), returning the bare name and N (0 when absent).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return name, 0
+	}
+	return name[:i], n
 }
 
 // parseLine decodes one "BenchmarkX-8  123  456 ns/op  7 B/op  8 allocs/op"
 // line, returning ok=false for anything that is not a benchmark result.
-func parseLine(line string) (Result, bool) {
+// procs is the GOMAXPROCS suffix of the name (0 when absent). With phases
+// set, custom "<phase>-ns/op" units are collected into r.Phases.
+func parseLine(line string, phases bool) (r Result, procs int, ok bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return Result{}, false
+		return Result{}, 0, false
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return Result{}, 0, false
 	}
-	r := Result{Name: f[0], Iterations: iters}
+	name, procs := splitProcs(f[0])
+	r = Result{Name: name, Iterations: iters}
 	seen := false
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Result{}, false
+			return Result{}, 0, false
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp, seen = v, true
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if phases && strings.HasSuffix(unit, "-ns/op") {
+				if r.Phases == nil {
+					r.Phases = make(map[string]float64)
+				}
+				r.Phases[strings.TrimSuffix(unit, "-ns/op")] = v
+			}
 		}
 	}
-	return r, seen
+	return r, procs, seen
 }
 
 func main() {
@@ -77,6 +121,7 @@ func main() {
 	// flags keep the whole bench pipeline attributable without code edits.
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+	phases := flag.Bool("phases", false, "capture custom <phase>-ns/op metrics into a per-entry phases map")
 	var notes notesFlag
 	flag.Var(&notes, "note", "annotation recorded in the document (repeatable)")
 	flag.Parse()
@@ -111,12 +156,16 @@ func main() {
 
 	var results []Result
 	index := make(map[string]int) // name → position in results
+	maxProcs := 0                 // largest -N suffix seen (0: none, i.e. GOMAXPROCS=1)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		r, ok := parseLine(sc.Text())
+		r, procs, ok := parseLine(sc.Text(), *phases)
 		if !ok {
 			continue
+		}
+		if procs > maxProcs {
+			maxProcs = procs
 		}
 		i, seen := index[r.Name]
 		if !seen {
@@ -130,6 +179,14 @@ func main() {
 		prev.NsPerOp = min(prev.NsPerOp, r.NsPerOp)
 		prev.BytesPerOp = min(prev.BytesPerOp, r.BytesPerOp)
 		prev.AllocsPerOp = max(prev.AllocsPerOp, r.AllocsPerOp)
+		for k, v := range r.Phases {
+			if old, ok := prev.Phases[k]; !ok || v < old {
+				if prev.Phases == nil {
+					prev.Phases = make(map[string]float64)
+				}
+				prev.Phases[k] = v
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
@@ -139,15 +196,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
 		os.Exit(1)
 	}
+	host := Host{GoMaxProcs: maxProcs, NumCPU: runtime.NumCPU()}
+	if host.GoMaxProcs == 0 {
+		// No -N suffix on any line: the bench ran at GOMAXPROCS=1, or the
+		// input predates the suffix — fall back to this process's view.
+		host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")
-	var doc any = results
-	if len(notes) > 0 {
-		doc = struct {
-			Notes      []string `json:"notes"`
-			Benchmarks []Result `json:"benchmarks"`
-		}{notes, results}
-	}
+	doc := struct {
+		Host       Host     `json:"host"`
+		Notes      []string `json:"notes,omitempty"`
+		Benchmarks []Result `json:"benchmarks"`
+	}{host, notes, results}
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

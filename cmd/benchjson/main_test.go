@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkStepByLoad/load=0.05/serial/sched-8", "BenchmarkStepByLoad/load=0.05/serial/sched", 8},
+		{"BenchmarkStepByLoad/load=0.05/serial/sched", "BenchmarkStepByLoad/load=0.05/serial/sched", 0},
+		{"BenchmarkFoo-16", "BenchmarkFoo", 16},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestParseLinePhases(t *testing.T) {
+	line := "BenchmarkStepPhases/h6/load=0.50/serial-4 \t 50\t 2205257 ns/op\t 594992 events-ns/op\t 178714 generate-ns/op"
+	r, procs, ok := parseLine(line, true)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if procs != 4 {
+		t.Errorf("procs = %d, want 4", procs)
+	}
+	if r.Name != "BenchmarkStepPhases/h6/load=0.50/serial" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.NsPerOp != 2205257 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Phases["events"] != 594992 || r.Phases["generate"] != 178714 {
+		t.Errorf("phases = %v", r.Phases)
+	}
+	// Without -phases the custom units must be dropped, keeping long-tracked
+	// entries byte-stable.
+	r2, _, ok := parseLine(line, false)
+	if !ok || r2.Phases != nil {
+		t.Errorf("phases captured without the flag: %v", r2.Phases)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tofar/internal/network\t30.1s",
+		"BenchmarkBroken notanumber 5 ns/op",
+	} {
+		if _, _, ok := parseLine(line, true); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -152,7 +152,17 @@ type SweepOptions struct {
 	// warming from cycle 0. Point the two at the same directory to get a
 	// persistent warm cache across invocations.
 	RestoreDir string
+	// PhaseSink, when non-nil, turns on per-phase Step timing for each
+	// point's measurement window and receives the window's accumulated
+	// breakdown once per point. The sink must be safe for concurrent calls
+	// (parallel sweeps measure points concurrently). Timing never affects
+	// results — only where the wall-clock went (see network.PhaseNanos).
+	PhaseSink func(PhaseNanos)
 }
+
+// PhaseNanos re-exports the engine's per-phase Step timing breakdown for
+// sweep callers (sweepd's /metrics gauges are the main consumer).
+type PhaseNanos = network.PhaseNanos
 
 // SweepStats reports how much warm-up work a sweep actually did — the
 // observable benefit of the warm cache.

@@ -206,6 +206,15 @@ type Config struct {
 	// exists for differential testing and benchmarking, not correctness.
 	DisableRouteCache bool
 
+	// DisableShardedGenerate keeps the injection front-end on the serial
+	// per-group loop even when ShardByGroup would shard it (see
+	// Network.generate). The sharded path performs the identical draws from
+	// the identical per-group traffic streams with effects committed in the
+	// identical (group, node) order, so results are bit-identical either
+	// way; like the two flags above, this escape hatch exists for
+	// differential testing and benchmarking, not correctness.
+	DisableShardedGenerate bool
+
 	// Faults is the deterministic failure schedule: each entry kills a link
 	// or a whole router at the top of its cycle. The schedule is applied in
 	// (Cycle, Kind, Router, Port) order regardless of the order given here.

@@ -252,7 +252,7 @@ func (n *Network) dropPacket(p *packet.Packet, now int64) {
 			tr.Dropped = true
 		}
 	}
-	n.pool.Put(p)
+	n.putPacket(p)
 }
 
 // GlobalLinkFaults builds a schedule killing the first `count` global links

@@ -57,14 +57,34 @@ const (
 	fxDrop
 )
 
+// genRec is one deferred generation event from the sharded injection
+// front-end: a packet created during the parallel generate phase (pkt != nil,
+// ID not yet assigned) or a dead-destination drop that consumed a destination
+// draw without allocating (pkt == nil). The commit barrier replays these in
+// ascending (group, node) order to stamp IDs and fold the observable effects
+// exactly as the serial per-node loop interleaves them.
+type genRec struct {
+	pkt  *packet.Packet
+	node int32
+	dst  int32
+}
+
 // groupScratch is one group's cross-shard channel: the wheel-insertion
-// outbox and the in-flight delta its handle share accumulates while the
-// shared counters are off limits. Padded to a cache line so adjacent groups
-// written by different workers never false-share.
+// outbox, the generate-phase outbox and the counter deltas its shares
+// accumulate while the shared counters are off limits. Padded to cache-line
+// multiples so adjacent groups written by different workers never
+// false-share.
 type groupScratch struct {
 	sched    []schedEv
+	gen      []genRec
 	inFlight int
-	_        [64 - 8*4]byte
+	// Generate-phase counter deltas, merged into the run counters at the
+	// barrier (their serial interleaving per node is unobservable — only the
+	// running Generated count is, and genRec replay reproduces it exactly).
+	blocked    int64
+	injected   int64
+	congStalls int64
+	_          [128 - 8*10]byte
 }
 
 // Network is one fully assembled simulated system.
@@ -76,11 +96,27 @@ type Network struct {
 	Rings   []*topology.Ring
 	Stats   *stats.Run
 
-	wheel      *simcore.Wheel[event]
-	pool       packet.Pool
-	trafficRNG *simcore.RNG
+	wheel *simcore.Wheel[event]
+
+	// Packet allocation is split between a run-wide ID authority and
+	// per-group memory shards: pool owns the ID sequence (and the
+	// Outstanding counter snapshots carry), while poolG[g] owns the free
+	// list and carve blocks that group g's sources allocate from and its
+	// terminal packets recycle into — so concurrent group shards never touch
+	// a shared allocator, and block-carve locality follows the group.
+	pool  packet.Pool
+	poolG []packet.Pool
+
+	// trafficRNG[g] is group g's traffic stream, derived deterministically
+	// from the run seed (one stream per dragonfly group). Nodes of group g
+	// draw from stream g in ascending node order — the same sequence whether
+	// the per-group loop runs serially or on a shard worker.
+	trafficRNG []*simcore.RNG
 	pending    []pqueue
 	gen        traffic.Generator
+	genLocal   bool // generator implements traffic.GroupLocalGenerator
+	genShard   bool // sharded generate allowed (shardOn, not disabled, past cutover)
+	groupNodes int  // nodes per group (Topo.P * Topo.A)
 	now        int64
 	usePB      bool
 	inFlight   int
@@ -169,6 +205,12 @@ type Network struct {
 	// CongestionStalls counts node-cycles in which the congestion manager
 	// blocked an injection.
 	CongestionStalls int64
+
+	// Per-phase Step timing (EnablePhaseTimings): wall-clock nanoseconds
+	// accumulated per Step phase. Off by default — the flag costs one branch
+	// per Step; when on, each Step pays a handful of clock reads.
+	timingOn bool
+	phaseNs  PhaseNanos
 }
 
 type pqueue struct {
@@ -304,8 +346,16 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 
+	// One traffic stream per dragonfly group, derived before the router
+	// streams so the whole derivation order is a pure function of the seed
+	// and the group count. (This replaced a single shared stream; the switch
+	// is a physics change — same distributions, different draws — visible in
+	// EngineDigest(), which is the point: caches key on it.)
 	rootRNG := simcore.NewRNG(cfg.Seed)
-	n.trafficRNG = rootRNG.Derive(0x7aff1c)
+	n.trafficRNG = make([]*simcore.RNG, topo.G)
+	for g := range n.trafficRNG {
+		n.trafficRNG[g] = rootRNG.Derive(0x7aff1c ^ uint64(g))
+	}
 
 	// Routers are constructed group by group into contiguous []Router slabs,
 	// each group's slices carved from a private arena: one dragonfly group —
@@ -424,6 +474,8 @@ func New(cfg Config) (*Network, error) {
 	}
 	n.nGroups = topo.G
 	n.groupSize = topo.A
+	n.groupNodes = topo.P * topo.A
+	n.poolG = make([]packet.Pool, topo.G)
 	n.groupIDs = make([]int32, topo.G)
 	n.activeG = make([][]int32, topo.G)
 	n.dueG = make([][]int32, topo.G)
@@ -457,6 +509,14 @@ func New(cfg Config) (*Network, error) {
 		if n.cutover == 0 {
 			n.cutover = autoCutover(n.workers)
 		}
+		// The generate phase has no per-cycle activity count to compare
+		// against the cutover (every node is probed every cycle), so the
+		// decision is static: shard it whenever the router stage could ever
+		// shard — i.e. the cutover does not pin the network serial. The
+		// documented ParallelCutover semantics carry over: values above the
+		// router count keep generation serial too, and single-P hosts stay
+		// serial via autoCutover.
+		n.genShard = n.shardOn && !cfg.DisableShardedGenerate && n.cutover <= len(n.Routers)
 		n.startPool(n.workers)
 	}
 	return n, nil
@@ -498,6 +558,7 @@ func autoCutover(workers int) int {
 // every generated packet; attaching a plain generator clears both.
 func (n *Network) SetGenerator(g traffic.Generator) {
 	n.gen = g
+	_, n.genLocal = g.(traffic.GroupLocalGenerator)
 	n.jobOf = nil
 	if ja, ok := g.(traffic.JobAware); ok {
 		n.jobOf = make([]int32, n.Topo.Nodes)
@@ -535,6 +596,10 @@ func (n *Network) Now() int64 { return n.now }
 // serially on the caller's goroutine, where the pool barrier could never
 // pay for itself.
 func (n *Network) Step() {
+	if n.timingOn {
+		n.stepTimed()
+		return
+	}
 	now := n.now
 	if n.faultIdx < len(n.faults) {
 		n.applyDueFaults(now)
@@ -548,10 +613,16 @@ func (n *Network) Step() {
 	if n.usePB {
 		n.publishPB(now)
 	}
-	// Router stage. The sharded path decides on the pre-compaction active
-	// count (a superset of the post-compaction list, so the decision is
-	// conservative) because compaction itself runs inside the shard phase;
-	// the legacy paths keep their exact pre-sharding control flow.
+	n.routerStage(now)
+	n.now++
+}
+
+// routerStage runs the routing/allocation phase of one cycle. The sharded
+// path decides on the pre-compaction active count (a superset of the
+// post-compaction list, so the decision is conservative) because compaction
+// itself runs inside the shard phase; the legacy paths keep their exact
+// pre-sharding control flow.
+func (n *Network) routerStage(now int64) {
 	act := len(n.allIdx)
 	if n.schedOn {
 		act = 0
@@ -559,28 +630,28 @@ func (n *Network) Step() {
 			act += len(n.activeG[g])
 		}
 	}
-	if act > 0 {
-		if n.shardOn && act >= n.cutover {
-			n.cycleShard(now)
-		} else {
-			list := n.allIdx
-			if n.schedOn {
-				list = n.compactActive()
-			}
-			if !n.shardOn && n.workers > 1 && len(list) >= n.cutover {
-				n.cycleRouters(list, now)
-			} else {
-				for _, i := range list {
-					r := n.Routers[i]
-					grants := r.Cycle(n.Engine, now)
-					for j := range grants {
-						n.commit(r, &grants[j], now)
-					}
-				}
-			}
+	if act == 0 {
+		return
+	}
+	if n.shardOn && act >= n.cutover {
+		n.cycleShard(now)
+		return
+	}
+	list := n.allIdx
+	if n.schedOn {
+		list = n.compactActive()
+	}
+	if !n.shardOn && n.workers > 1 && len(list) >= n.cutover {
+		n.cycleRouters(list, now)
+		return
+	}
+	for _, i := range list {
+		r := n.Routers[i]
+		grants := r.Cycle(n.Engine, now)
+		for j := range grants {
+			n.commit(r, &grants[j], now)
 		}
 	}
-	n.now++
 }
 
 // processDue runs the event phase over one cycle's due list, partitioned by
@@ -674,7 +745,7 @@ func (n *Network) processDue(due []event, now int64) {
 			if p.Job >= 0 {
 				n.Stats.JobDelivered(int(p.Job), now-p.Born)
 			}
-			n.pool.Put(p)
+			n.putPacket(p)
 		case fxDrop:
 			p := n.fxPkt[i]
 			n.fxPkt[i] = nil
@@ -762,17 +833,38 @@ func (n *Network) compactGroup(g int) []int32 {
 // so only routers whose global-port occupancy moved since their last publish
 // (PBDirty) need to recompute; the full sweep remains available for the
 // scheduler-disabled path and produces identical reader-visible flags.
+//
+// With group sharding past the cutover, the O(routers) dirty scan runs on
+// the pool instead: each worker publishes its claimed groups' boards. A
+// group's board is written only by that group's routers (UpdatePBFlags sets
+// the router's own link flags), each router writes disjoint flag indices,
+// and nothing reads any board during this phase — so the sweep parallelizes
+// with no outbox and no barrier merge, bit-identically.
 func (n *Network) publishPB(now int64) {
+	if n.shardOn && n.cutover <= len(n.Routers) {
+		n.runShards(phasePB, now)
+		return
+	}
+	for g := 0; g < n.nGroups; g++ {
+		n.publishPBGroup(g, now)
+	}
+}
+
+// publishPBGroup republishes one group's flag board (serial loop or shard
+// worker; see publishPB).
+func (n *Network) publishPBGroup(g int, now int64) {
+	lo := g * n.groupSize
+	hi := lo + n.groupSize
 	if n.schedOn {
-		for _, r := range n.Routers {
-			if r.PBDirty() {
-				r.UpdatePBFlags(now)
+		for r := lo; r < hi; r++ {
+			if rt := n.Routers[r]; rt.PBDirty() {
+				rt.UpdatePBFlags(now)
 			}
 		}
 		return
 	}
-	for _, r := range n.Routers {
-		r.UpdatePBFlags(now)
+	for r := lo; r < hi; r++ {
+		n.Routers[r].UpdatePBFlags(now)
 	}
 }
 
@@ -963,7 +1055,7 @@ func (n *Network) handleSerial(ev event, now int64) {
 			if p.Job >= 0 {
 				n.Stats.JobDelivered(int(p.Job), now-p.Born)
 			}
-			n.pool.Put(p)
+			n.putPacket(p)
 		}
 	case evCredit:
 		n.Routers[ev.r].AddCredit(int(ev.port), int(ev.vc), int(ev.phits))
@@ -1045,14 +1137,58 @@ func (n *Network) handleGroup(g int, due []event, now int64, sh *groupScratch) {
 	}
 }
 
+// generate runs the injection front-end for one cycle. Both paths walk the
+// same (group, node) order and draw from the same per-group traffic streams;
+// equivalence of the sharded path rests on three facts, mirrored from the
+// processDue argument and pinned by the golden/invariance matrices:
+//
+//   - Per-node work is group-local: Next/Retract draw from the group's own
+//     stream (and, for GroupLocalGenerator sources, touch only per-node or
+//     commutative-atomic generator state), the pending queue and the
+//     injection router belong to the node's own group, and packets come from
+//     the group's own pool shard. Nothing one group does can change what
+//     another group generates or injects this cycle.
+//   - Observable effects are not applied in processing order: packet IDs,
+//     Stats counters, digest folds, trace-recorder appends and job
+//     accounting are recorded per group (genRec) and replayed at the barrier
+//     in ascending (group, node) order — the exact interleaving of the
+//     serial loop, including the running Generated count the path-trace
+//     sampler reads.
+//   - Counter deltas that the serial loop interleaves with generation
+//     (SourceBlocked, Injected, CongestionStalls) are plain sums with no
+//     intermediate observer, so per-group accumulation plus an ordered merge
+//     is invisible.
+//
+// Generators without the GroupLocalGenerator marker (Burst, JobSet — shared
+// plain-int progress counters) always take the serial path, which performs
+// identical draws from the identical streams, so the results cannot depend
+// on which path executed.
 func (n *Network) generate(now int64) {
+	if n.genShard && n.genLocal {
+		n.runShards(phaseGenerate, now)
+		n.commitGenerate(now)
+		return
+	}
+	for g := 0; g < n.nGroups; g++ {
+		n.generateSerial(g, now)
+	}
+}
+
+// generateSerial generates and injects for every node of one group with all
+// effects applied inline — the serial injection front-end, processing nodes
+// in the exact order the pre-sharding single-stream loop did (ascending node
+// == ascending (group, node), since node numbering is group-major).
+func (n *Network) generateSerial(g int, now int64) {
 	topo := n.Topo
-	for node := 0; node < topo.Nodes; node++ {
+	rng := n.trafficRNG[g]
+	lo := g * n.groupNodes
+	hi := lo + n.groupNodes
+	for node := lo; node < hi; node++ {
 		if n.deadNode != nil && n.deadNode[node] {
 			continue // dead sources neither draw traffic nor inject
 		}
 		pq := &n.pending[node]
-		if dst, ok := n.gen.Next(n.trafficRNG, node, now); ok {
+		if dst, ok := n.gen.Next(rng, node, now); ok {
 			if n.deadNode != nil && n.deadNode[dst] {
 				// The destination is down; the source learns immediately
 				// (its NIC would). Generated and Dropped move together so
@@ -1075,10 +1211,11 @@ func (n *Network) generate(now int64) {
 				n.gen.Retract(node)
 				n.Stats.SourceBlocked++
 			} else {
-				p := n.pool.Get()
+				p := n.poolG[g].GetBlank()
+				p.ID = n.pool.NextID()
 				p.Size = n.Cfg.PacketSize
 				p.Src, p.Dst = node, dst
-				p.SrcGroup = topo.GroupOfNode(node)
+				p.SrcGroup = g
 				p.DstGroup = topo.GroupOfNode(dst)
 				p.Born = now
 				if n.jobOf != nil {
@@ -1113,6 +1250,123 @@ func (n *Network) generate(now int64) {
 			}
 		}
 	}
+}
+
+// generateGroup is generateSerial's shard-phase twin, run by a pool worker
+// that has claimed group g: the same per-node sequence, but every observable
+// effect is buffered — packets leave the group's pool shard without an ID
+// (the barrier stamps IDs in global order), stats/digest/trace/job effects
+// become genRec entries, and counter deltas accumulate in the group scratch.
+// Injection side effects (router state, wake, AtInjection with the worker's
+// engine) are group-owned and applied immediately, exactly as the serial
+// loop would at this node's turn.
+func (n *Network) generateGroup(g int, eng router.Engine, now int64) {
+	topo := n.Topo
+	rng := n.trafficRNG[g]
+	sh := &n.gs[g]
+	lo := g * n.groupNodes
+	hi := lo + n.groupNodes
+	for node := lo; node < hi; node++ {
+		if n.deadNode != nil && n.deadNode[node] {
+			continue // dead sources neither draw traffic nor inject
+		}
+		pq := &n.pending[node]
+		if dst, ok := n.gen.Next(rng, node, now); ok {
+			if n.deadNode != nil && n.deadNode[dst] {
+				sh.gen = append(sh.gen, genRec{node: int32(node), dst: int32(dst)})
+			} else if pq.len() >= n.Cfg.PendingCap {
+				n.gen.Retract(node)
+				sh.blocked++
+			} else {
+				p := n.poolG[g].GetBlank()
+				p.Size = n.Cfg.PacketSize
+				p.Src, p.Dst = node, dst
+				p.SrcGroup = g
+				p.DstGroup = topo.GroupOfNode(dst)
+				p.Born = now
+				if n.jobOf != nil {
+					p.Job = n.jobOf[node]
+				}
+				pq.push(p)
+				sh.gen = append(sh.gen, genRec{pkt: p, node: int32(node), dst: int32(dst)})
+			}
+		}
+		if p := pq.peek(); p != nil {
+			r := n.Routers[topo.RouterOf(node)]
+			if n.congestionOn && r.CanonicalOccupancy() >= n.congestionTh {
+				sh.congStalls++
+				continue
+			}
+			port := topo.NodePort(topo.NodeSlot(node))
+			if vc, ok := r.InjectionSpace(port, p.Size); ok {
+				pq.pop()
+				r.Inject(port, vc, p, now)
+				if n.schedOn {
+					n.wake(int32(r.ID))
+				}
+				eng.AtInjection(r, p, now)
+				sh.injected++
+			}
+		}
+	}
+}
+
+// commitGenerate is the serial barrier of the sharded generate phase: walk
+// groups in ascending order replaying each group's genRec entries in node
+// order — stamping packet IDs from the run-wide sequence and folding the
+// observable effects exactly as generateSerial interleaves them — then merge
+// the counter deltas.
+func (n *Network) commitGenerate(now int64) {
+	for g := 0; g < n.nGroups; g++ {
+		sh := &n.gs[g]
+		for i := range sh.gen {
+			rec := &sh.gen[i]
+			if rec.pkt == nil {
+				// Dead-destination drop (see generateSerial).
+				n.Stats.Generated++
+				n.Stats.Dropped++
+				n.Stats.NoteAffectedFlow(int(rec.node), int(rec.dst))
+				if n.jobOf != nil {
+					j := int(n.jobOf[rec.node])
+					n.Stats.JobGenerated(j)
+					n.Stats.JobDropped(j)
+				}
+				if n.rec != nil {
+					n.rec.Add(now, int(rec.node), int(rec.dst), n.Cfg.PacketSize)
+				}
+				if n.digestOn {
+					n.fold(2, now, int64(rec.node), int64(rec.dst), now)
+				}
+				continue
+			}
+			p := rec.pkt
+			p.ID = n.pool.NextID()
+			rec.pkt = nil
+			if n.jobOf != nil {
+				n.Stats.JobGenerated(int(p.Job))
+			}
+			if n.rec != nil {
+				n.rec.Add(now, int(rec.node), int(rec.dst), n.Cfg.PacketSize)
+			}
+			if n.traceEvery > 0 && n.Stats.Generated%int64(n.traceEvery) == 0 {
+				n.traces[p.ID] = &Trace{Src: int(rec.node), Dst: int(rec.dst)}
+			}
+			n.Stats.Generated++
+		}
+		sh.gen = sh.gen[:0]
+		n.Stats.SourceBlocked += sh.blocked
+		n.Stats.Injected += sh.injected
+		n.CongestionStalls += sh.congStalls
+		sh.blocked, sh.injected, sh.congStalls = 0, 0, 0
+	}
+}
+
+// putPacket recycles a terminal packet into its source group's pool shard,
+// keeping the free list (and the block-carve locality it preserves) with the
+// group that allocated the packet. Only ever called from serial contexts
+// (delivery folds, fault drops).
+func (n *Network) putPacket(p *packet.Packet) {
+	n.poolG[p.SrcGroup].Put(p)
 }
 
 func (n *Network) commit(r *router.Router, g *router.Grant, now int64) {

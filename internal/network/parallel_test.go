@@ -129,21 +129,23 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 // TestWorkerCountInvariance: the digest must not depend on *how many*
 // workers split the routers, nor on whether the activity scheduler prunes
 // the iteration to the awake set, nor on whether routers memoize routing
-// decisions, nor on whether the cycle is sharded by group (the full workers
-// × scheduler × route-cache × ShardByGroup matrix). Parallel rows force
-// ParallelCutover=1 so the pool — flat or sharded — genuinely dispatches on
-// every non-empty cycle even on a single-P host.
+// decisions, nor on whether the cycle is sharded by group, nor on whether
+// the injection front-end runs sharded or serial (the full workers ×
+// scheduler × route-cache × ShardByGroup × DisableShardedGenerate matrix).
+// Parallel rows force ParallelCutover=1 so the pool — flat or sharded —
+// genuinely dispatches on every non-empty cycle even on a single-P host.
 func TestWorkerCountInvariance(t *testing.T) {
 	cycles := 800
 	if testing.Short() {
 		cycles = 300
 	}
-	run := func(workers int, noSched, noCache, shard bool) (uint64, int64) {
+	run := func(workers int, noSched, noCache, shard, noGen bool) (uint64, int64) {
 		cfg := DefaultConfig(2)
 		cfg.Workers = workers
 		cfg.DisableActivitySched = noSched
 		cfg.DisableRouteCache = noCache
 		cfg.ShardByGroup = shard
+		cfg.DisableShardedGenerate = noGen
 		if workers > 1 {
 			cfg.ParallelCutover = 1
 		}
@@ -154,15 +156,20 @@ func TestWorkerCountInvariance(t *testing.T) {
 		d, c := n.GrantDigest()
 		return d, c
 	}
-	wantD, wantC := run(0, true, false, false)
+	wantD, wantC := run(0, true, false, false, false)
 	for _, shard := range []bool{false, true} {
-		for _, noCache := range []bool{false, true} {
-			for _, noSched := range []bool{false, true} {
-				for _, w := range []int{0, 1, 4, 8, 64} { // 64 > router count: clamped
-					d, c := run(w, noSched, noCache, shard)
-					if d != wantD || c != wantC {
-						t.Fatalf("workers=%d noSched=%v noCache=%v shard=%v: digest %016x (%d) != reference %016x (%d)",
-							w, noSched, noCache, shard, d, c, wantD, wantC)
+		for _, noGen := range []bool{false, true} {
+			if noGen && !shard {
+				continue // the flag only gates behavior under group sharding
+			}
+			for _, noCache := range []bool{false, true} {
+				for _, noSched := range []bool{false, true} {
+					for _, w := range []int{0, 1, 4, 8, 64} { // 64 > router count: clamped
+						d, c := run(w, noSched, noCache, shard, noGen)
+						if d != wantD || c != wantC {
+							t.Fatalf("workers=%d noSched=%v noCache=%v shard=%v noGen=%v: digest %016x (%d) != reference %016x (%d)",
+								w, noSched, noCache, shard, noGen, d, c, wantD, wantC)
+						}
 					}
 				}
 			}

@@ -177,11 +177,17 @@ func (n *Network) computeShare(eng router.Engine, list []int32, now int64) {
 // Pool phases. phaseRouters is the legacy flat router stage (steal chunks of
 // a router list, compute only). The shard phases steal whole dragonfly groups:
 // phaseHandle runs handleGroup over the due list's group partition, phaseCycle
-// runs cycleGroup (compact + compute + commitSched into the group outbox).
+// runs cycleGroup (compact + compute + commitSched into the group outbox),
+// phaseGenerate runs generateGroup (the sharded injection front-end, effects
+// buffered as genRec for commitGenerate), and phasePB runs publishPBGroup
+// (each group's routers republish their own flag board — no cross-group
+// state, no observable effects, so no barrier work at all).
 const (
 	phaseRouters = iota
 	phaseHandle
 	phaseCycle
+	phaseGenerate
+	phasePB
 )
 
 // groupShare claims group IDs one at a time until the cursor runs dry and
@@ -203,6 +209,10 @@ func (n *Network) groupShare(eng router.Engine, phase int, now int64) {
 			}
 		case phaseCycle:
 			n.cycleGroup(g, eng, now)
+		case phaseGenerate:
+			n.generateGroup(g, eng, now)
+		case phasePB:
+			n.publishPBGroup(g, now)
 		}
 	}
 }

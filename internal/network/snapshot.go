@@ -49,7 +49,9 @@ const (
 	// SnapshotVersion identifies the payload layout. Any change to the
 	// encode/decode pairs below must bump it; Restore rejects other versions.
 	// Version 2 added the packet Job tag and the per-job statistics section.
-	SnapshotVersion = 2
+	// Version 3 replaced the single traffic RNG state with one state per
+	// dragonfly group (the sharded injection front-end's per-group streams).
+	SnapshotVersion = 3
 
 	maxSnapCfgJSON = 1 << 20
 	maxSnapPackets = 1 << 26
@@ -99,6 +101,7 @@ func normalizeConfig(c Config) Config {
 	c.ShardByGroup = false
 	c.DisableActivitySched = false
 	c.DisableRouteCache = false
+	c.DisableShardedGenerate = false
 	return c
 }
 
@@ -248,8 +251,10 @@ func (n *Network) encodePayload(e *simcore.Enc) {
 			e.Bool(b)
 		}
 	}
-	for _, s := range n.trafficRNG.State() {
-		e.U64(s)
+	for _, rng := range n.trafficRNG {
+		for _, s := range rng.State() {
+			e.U64(s)
+		}
 	}
 	e.U64(n.pool.Outstanding())
 
@@ -375,13 +380,15 @@ func (n *Network) decodePayload(d *simcore.Dec) error {
 			n.deadNode[i] = d.Bool()
 		}
 	}
-	var st [4]uint64
-	for i := range st {
-		st[i] = d.U64()
-	}
-	if d.Err() == nil {
-		if err := n.trafficRNG.SetState(st); err != nil {
-			d.Fail("traffic rng: %v", err)
+	for g := range n.trafficRNG {
+		var st [4]uint64
+		for i := range st {
+			st[i] = d.U64()
+		}
+		if d.Err() == nil {
+			if err := n.trafficRNG[g].SetState(st); err != nil {
+				d.Fail("traffic rng group %d: %v", g, err)
+			}
 		}
 	}
 	outstanding := d.U64()

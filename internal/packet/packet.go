@@ -137,6 +137,35 @@ func (pl *Pool) Get() *Packet {
 	return p
 }
 
+// GetBlank returns a zeroed packet WITHOUT assigning an ID (p.ID stays 0).
+// The sharded injection front-end uses per-group pools for memory locality
+// but a single run-wide ID sequence for determinism: group shards call
+// GetBlank concurrently on their own pools, and the commit barrier stamps IDs
+// in (group, node) order via NextID on the shared pool. Callers must stamp an
+// ID before the packet becomes observable (traces, snapshots, stats).
+func (pl *Pool) GetBlank() *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	} else {
+		if len(pl.block) == 0 {
+			pl.block = make([]Packet, poolBlock)
+		}
+		p = &pl.block[0]
+		pl.block = pl.block[1:]
+	}
+	p.Reset()
+	return p
+}
+
+// NextID advances the run-wide ID sequence and returns the fresh ID. Pairs
+// with GetBlank; Get is equivalent to GetBlank + NextID on one pool.
+func (pl *Pool) NextID() ID {
+	pl.next++
+	return pl.next
+}
+
 // Put returns a packet to the pool. The caller must not retain references.
 func (pl *Pool) Put(p *Packet) {
 	if p == nil {

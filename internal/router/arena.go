@@ -58,12 +58,14 @@ func (s *slab[T]) alloc(n, chunk int) []T {
 	return out
 }
 
-// Per-type chunk sizes: large enough that one h=6 group (12 routers × 25
-// ports) fits each type in one or two chunks, small enough that tiny test
-// topologies waste little.
+// Per-type chunk sizes: large enough that one group of the big regimes —
+// h=6 (12 routers × 25 ports) and the h=8 stretch build (16 routers × 32
+// ports, 512 ports per group) — fits each type in one or two chunks, small
+// enough that tiny test topologies waste little (waste is bounded by one
+// chunk tail per type per group).
 const (
-	chunkScalar = 4096
-	chunkStruct = 1024
+	chunkScalar = 8192
+	chunkStruct = 2048
 	chunkPkts   = 16384
 )
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ofar"
 )
 
 // metrics is the observable side of the service's perf claims: cache hit
@@ -30,6 +32,11 @@ type metrics struct {
 	ring      []float64 // recent per-point service latencies, seconds
 	ringNext  int
 	ringFull  bool
+
+	// Per-phase Step timing, accumulated across every measured point (the
+	// sweep options install observePhases as the PhaseSink). Answers "where
+	// do this service's simulation seconds go" without attaching a profiler.
+	phases ofar.PhaseNanos // guarded by mu
 }
 
 const latencyRingSize = 1024
@@ -60,6 +67,15 @@ func (m *metrics) observePoint(d time.Duration) {
 		m.ringNext = 0
 		m.ringFull = true
 	}
+	m.mu.Unlock()
+}
+
+// observePhases folds one measurement window's per-phase Step breakdown into
+// the served totals. Safe for concurrent calls — it is handed to the sweep
+// layer as SweepOptions.PhaseSink, which may fire from parallel points.
+func (m *metrics) observePhases(p ofar.PhaseNanos) {
+	m.mu.Lock()
+	m.phases.Add(p)
 	m.mu.Unlock()
 }
 
@@ -129,4 +145,14 @@ func (m *metrics) writeTo(w http.ResponseWriter, pool *simPool, cache *resultCac
 	fmt.Fprintf(w, "sweepd_point_latency_seconds{quantile=\"0.9\"} %.6f\n", p90)
 	fmt.Fprintf(w, "sweepd_point_latency_seconds{quantile=\"0.99\"} %.6f\n", p99)
 	fmt.Fprintf(w, "sweepd_point_latency_samples %d\n", n)
+	m.mu.Lock()
+	ph := m.phases
+	m.mu.Unlock()
+	sec := func(ns int64) float64 { return float64(ns) / 1e9 }
+	fmt.Fprintf(w, "sweepd_step_phase_seconds_total{phase=\"faults\"} %.6f\n", sec(ph.Faults))
+	fmt.Fprintf(w, "sweepd_step_phase_seconds_total{phase=\"events\"} %.6f\n", sec(ph.Events))
+	fmt.Fprintf(w, "sweepd_step_phase_seconds_total{phase=\"generate\"} %.6f\n", sec(ph.Generate))
+	fmt.Fprintf(w, "sweepd_step_phase_seconds_total{phase=\"pb\"} %.6f\n", sec(ph.PB))
+	fmt.Fprintf(w, "sweepd_step_phase_seconds_total{phase=\"routers\"} %.6f\n", sec(ph.Routers))
+	fmt.Fprintf(w, "sweepd_step_phase_cycles_total %d\n", ph.Cycles)
 }

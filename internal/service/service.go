@@ -379,14 +379,16 @@ func (s *Server) point(rs *reqState, res resolved, key uint64, index int) PointR
 }
 
 // sweepOptions builds the per-point SweepOptions: serial within the point
-// (the pool provides cross-point concurrency) and, with a disk directory
+// (the pool provides cross-point concurrency); with a disk directory
 // configured, the shared warm-snapshot cache so long points warm once and
-// fork per load across requests.
+// fork per load across requests; and the metrics phase sink, so /metrics
+// can report where the service's simulation seconds go per Step phase.
 func (s *Server) sweepOptions() ofar.SweepOptions {
 	return ofar.SweepOptions{
 		Parallel:      1,
 		CheckpointDir: s.warmDir,
 		RestoreDir:    s.warmDir,
+		PhaseSink:     s.met.observePhases,
 	}
 }
 

@@ -373,6 +373,9 @@ func TestMetricsAndHealthz(t *testing.T) {
 		"sweepd_inflight_sims 0",
 		"sweepd_point_latency_seconds{quantile=\"0.99\"}",
 		"sweepd_cache_hit_rate 0.5",
+		"sweepd_step_phase_seconds_total{phase=\"generate\"}",
+		"sweepd_step_phase_seconds_total{phase=\"routers\"}",
+		"sweepd_step_phase_cycles_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -198,6 +198,47 @@ func TestWheelScheduleDuringAdvanceIteration(t *testing.T) {
 	}
 }
 
+// TestWheelAdvanceClearsDueTail pins the arena-hygiene fix in Advance: the
+// recycled due slice is reused across cycles with append(due[:0], ...), so a
+// large batch (a burst peak) used to leave its pointers live in the backing
+// array's tail for the rest of the run. After a smaller batch, the tail past
+// the new length must be zeroed so the old events become collectable.
+func TestWheelAdvanceClearsDueTail(t *testing.T) {
+	w := NewWheel[*int](4)
+	big := make([]*int, 8)
+	for i := range big {
+		v := i
+		big[i] = &v
+		w.Schedule(0, big[i])
+	}
+	if got := w.Advance(); len(got) != len(big) {
+		t.Fatalf("burst batch: got %d events, want %d", len(got), len(big))
+	}
+	// Smaller follow-up batch reuses the same arena.
+	v := 99
+	w.Schedule(0, &v)
+	due := w.Advance()
+	if len(due) != 1 || *due[0] != 99 {
+		t.Fatalf("follow-up batch: %v", due)
+	}
+	tail := due[1:cap(due)]
+	for j, ev := range tail {
+		if ev != nil {
+			t.Fatalf("due arena tail[%d] still pins an event from the larger batch", j)
+		}
+	}
+	// An empty batch must clear the single survivor too.
+	empty := w.Advance()
+	if len(empty) != 0 {
+		t.Fatalf("expected empty batch, got %v", empty)
+	}
+	for j, ev := range empty[:cap(empty)] {
+		if ev != nil {
+			t.Fatalf("due arena[%d] still pins an event after an empty batch", j)
+		}
+	}
+}
+
 func TestWheelPanicsOutsideHorizon(t *testing.T) {
 	w := NewWheel[int](5)
 	defer func() {

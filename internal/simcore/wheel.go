@@ -44,7 +44,18 @@ func (w *Wheel[T]) Advance() []T {
 	w.slots[idx] = slot[:0]
 	w.now++
 	w.count -= len(slot)
+	prev := len(w.due)
 	w.due = append(w.due[:0], slot...)
+	if len(slot) < prev {
+		// The arena shrank: zero the tail so events from a previous, larger
+		// batch don't stay reachable through the backing array — a burst peak
+		// would otherwise pin its dead packet pointers long after load drops.
+		var zero T
+		tail := w.due[len(slot):prev]
+		for j := range tail {
+			tail[j] = zero
+		}
+	}
 	return w.due
 }
 

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ofar/internal/simcore"
 	"ofar/internal/trace"
@@ -19,8 +20,12 @@ type TraceReplay struct {
 	name    string
 	perNode [][]trace.Record // records of each source, in trace order
 
-	cursor    []int // per-node next record index (mutable progress state)
-	remaining int
+	cursor []int // per-node next record index (mutable progress state)
+	// remaining is accessed with sync/atomic: under the sharded injection
+	// front-end each group shard decrements it concurrently. The count is a
+	// commutative sum only *read* at phase quiescence (Done, between cycles),
+	// so atomicity is all the cross-shard ordering it needs.
+	remaining int64
 	total     int
 }
 
@@ -50,7 +55,7 @@ func NewTraceReplay(recs []trace.Record, nodes int) (*TraceReplay, error) {
 		}
 		r.perNode[rec.Src] = append(r.perNode[rec.Src], rec)
 	}
-	r.remaining = r.total
+	r.remaining = int64(r.total)
 	// The identity hash covers every record, so restoring a snapshot against
 	// a different trace fails the generator name check instead of silently
 	// replaying the wrong stream.
@@ -79,7 +84,7 @@ func (r *TraceReplay) Next(_ *simcore.RNG, node int, now int64) (int, bool) {
 		return 0, false
 	}
 	r.cursor[node] = c + 1
-	r.remaining--
+	atomic.AddInt64(&r.remaining, -1)
 	return int(recs[c].Dst), true
 }
 
@@ -87,12 +92,16 @@ func (r *TraceReplay) Next(_ *simcore.RNG, node int, now int64) (int, bool) {
 // re-offered next cycle.
 func (r *TraceReplay) Retract(node int) {
 	r.cursor[node]--
-	r.remaining++
+	atomic.AddInt64(&r.remaining, 1)
 }
 
 // Done implements Generator: a replay is exhausted when every record has
 // been injected.
-func (r *TraceReplay) Done() bool { return r.remaining == 0 }
+func (r *TraceReplay) Done() bool { return atomic.LoadInt64(&r.remaining) == 0 }
+
+// GroupLocal implements GroupLocalGenerator: the cursors are per-node and
+// the remaining count is a commutative atomic.
+func (r *TraceReplay) GroupLocal() {}
 
 // Total returns the number of records in the trace.
 func (r *TraceReplay) Total() int { return r.total }
@@ -104,7 +113,7 @@ func (r *TraceReplay) EncodeState(e *simcore.Enc) {
 	for _, c := range r.cursor {
 		e.Int(c)
 	}
-	e.Int(r.remaining)
+	e.Int(int(r.remaining))
 }
 
 // DecodeState implements StatefulGenerator. Each cursor must lie within its
@@ -134,7 +143,7 @@ func (r *TraceReplay) DecodeState(d *simcore.Dec) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	r.remaining = remaining
+	r.remaining = int64(remaining)
 	return nil
 }
 

@@ -106,6 +106,15 @@ func (m *Mix) Dest(rng *simcore.RNG, src int) int {
 // per cycle; it returns the destination of a new packet or ok == false.
 // Accepted reports whether the network accepted the previous Next result —
 // burst generators must not lose packets to source-queue backpressure.
+//
+// Stream discipline: the rng passed to Next is a per-dragonfly-group stream
+// derived deterministically from the run seed — every node of group g draws
+// from stream g, in ascending node order within a cycle. The contract stays
+// per-node; generators never see which stream they are handed. The network
+// may call Next for nodes of *different* groups concurrently (one goroutine
+// per group, each with its own stream), but only for generators that opt in
+// via GroupLocalGenerator; everything else runs the serial per-group loop
+// with identical draws, so results do not depend on which path executed.
 type Generator interface {
 	Name() string
 	Next(rng *simcore.RNG, node int, now int64) (dst int, ok bool)
@@ -135,6 +144,23 @@ type StatefulGenerator interface {
 type CloneableGenerator interface {
 	Generator
 	CloneGenerator() Generator
+}
+
+// GroupLocalGenerator marks generators whose Next/Retract calls for one node
+// touch no state shared with nodes of any other dragonfly group — either
+// purely per-node state (cursors, budgets indexed by node) or commutative
+// atomics read only at quiescence. The network shards its injection
+// front-end by group only for generators carrying this marker; a concurrent
+// Next is then a data-race-free reordering whose observable effects the
+// commit barrier replays in serial (group, node) order. Burst and JobSet do
+// NOT qualify: their shared progress counters (`emitted`) are plain ints
+// mutated on every Next, so they keep the serial per-group loop — which
+// draws from the identical per-group streams, keeping results bit-identical
+// across the two paths.
+type GroupLocalGenerator interface {
+	Generator
+	// GroupLocal is a marker; implementations do nothing.
+	GroupLocal()
 }
 
 // JobAware is implemented by generators that partition the sources into
@@ -188,6 +214,10 @@ func (b *Bernoulli) Retract(int) {}
 // Done implements Generator.
 func (b *Bernoulli) Done() bool { return false }
 
+// GroupLocal implements GroupLocalGenerator: Next mutates nothing but the
+// caller-owned RNG.
+func (b *Bernoulli) GroupLocal() {}
+
 // Transient switches patterns (and optionally load) at a given cycle,
 // reproducing the §VI-B transient experiments.
 type Transient struct {
@@ -223,6 +253,10 @@ func (t *Transient) Retract(int) {}
 
 // Done implements Generator.
 func (t *Transient) Done() bool { return false }
+
+// GroupLocal implements GroupLocalGenerator: Next mutates nothing but the
+// caller-owned RNG.
+func (t *Transient) GroupLocal() {}
 
 // Burst gives every node a fixed budget of packets injected as fast as the
 // network accepts them (§VI-C: synchronized post-barrier communication).
